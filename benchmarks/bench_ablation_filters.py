@@ -1,0 +1,71 @@
+"""Ablation: CandVerify filter combinations (Section A.6).
+
+DESIGN.md calls out the candidate filters as a design choice: the paper
+introduces the constant-time maximum-neighbor-degree (MND) filter to
+reduce invocations of the costlier NLF filter.  This bench builds the CPI
+under four filter configurations and reports average CPI size and total
+match time.
+
+Paper shape: more filtering -> smaller CPI; the MND+NLF combination
+(Algorithm 6) gives the smallest index without hurting total time.
+"""
+
+from repro.bench.experiments import _data_graph, _query_set
+from repro.bench.reporting import format_table
+from repro.core import CFLMatch
+from repro.core.filters import cand_verify, mnd_ok, nlf_ok
+
+from conftest import run_once
+
+
+class _FilteredCFL(CFLMatch):
+    """CFL-Match with a pluggable CandVerify implementation."""
+
+    def __init__(self, data, verify):
+        super().__init__(data)
+        self._verify = verify
+
+    def _build_cpi(self, query, root):
+        from repro.core.cpi_builder import build_cpi
+
+        return build_cpi(query, self.data, root, refine=True, verify=self._verify)
+
+
+FILTERS = {
+    "label+degree only": None,
+    "+MND": lambda q, g, u, v: mnd_ok(q, g, u, v),
+    "+NLF": lambda q, g, u, v: nlf_ok(q, g, u, v),
+    "+MND+NLF (Alg. 6)": cand_verify,
+}
+
+
+def _evaluate(profile):
+    data = _data_graph("yeast", profile)
+    queries = _query_set(data, "yeast", profile.default_size, False, profile)
+    rows = []
+    for name, verify in FILTERS.items():
+        matcher = _FilteredCFL(data, verify)
+        sizes, times, embeddings = [], [], 0
+        for query in queries:
+            report = matcher.run(query, limit=profile.limit)
+            sizes.append(report.cpi_size)
+            times.append(report.total_time)
+            embeddings += report.embeddings
+        rows.append(
+            [name,
+             f"{sum(sizes) / len(sizes):.0f}",
+             f"{1000 * sum(times) / len(times):.2f}",
+             str(embeddings)]
+        )
+    return rows
+
+
+def test_ablation_filters(benchmark, bench_profile):
+    rows = run_once(benchmark, _evaluate, bench_profile)
+    print()
+    print(format_table(["filters", "avg CPI size", "avg total ms", "#emb"], rows))
+    # every configuration finds the same embeddings
+    assert len({row[3] for row in rows}) == 1
+    # the full Algorithm-6 filtering yields the smallest (or equal) index
+    sizes = [float(row[1]) for row in rows]
+    assert sizes[-1] <= sizes[0]

@@ -1,0 +1,27 @@
+"""Ablation: hierarchical k-core ordering (the Section 7 future work).
+
+Compares CFL-Match's Algorithm-2 path ordering against the
+hierarchical-core extension on the default query sets; both must agree on
+results, and the table shows where shell-depth-first ordering pays off.
+"""
+
+from repro.bench.experiments import _default_query_sets, _run_matrix
+from repro.bench.reporting import series_table
+
+from conftest import run_once, show
+
+
+def _evaluate(profile):
+    data, sets = _default_query_sets("yeast", profile)
+    series = _run_matrix(
+        data, sets, ("CFL-Match", "CFL-Match-Hierarchical"), profile,
+        lambda r: r.avg_total_ms,
+    )
+    return list(sets), series
+
+
+def test_ablation_hierarchical(benchmark, bench_profile):
+    set_names, series = run_once(benchmark, _evaluate, bench_profile)
+    print()
+    print(series_table("query set", set_names, series))
+    assert set(series) == {"CFL-Match", "CFL-Match-Hierarchical"}

@@ -1,0 +1,48 @@
+"""Ablation: reference vs vectorized CPI builder.
+
+DESIGN.md notes CPI construction dominates the ordering phase in pure
+Python (Figure 10); the numpy fast path vectorizes Algorithm 3/4's
+counting loops.  The bench times both builders on the same queries and
+asserts they produce identical CPIs.
+"""
+
+import time
+
+from repro.bench.reporting import format_table
+from repro.core import build_cpi, select_root
+from repro.core.cpi_builder_numpy import build_cpi_numpy
+from repro.graph import synthetic_graph
+from repro.workloads.queries import QuerySetSpec, generate_query_set
+
+from conftest import run_once
+
+
+def _evaluate(profile):
+    # A graph large enough for vectorization to pay off (the crossover
+    # is around a few thousand vertices; below it, array setup dominates).
+    data = synthetic_graph(
+        max(profile.sweep_base_vertices * 4, 12_000),
+        avg_degree=8.0, num_labels=4, seed=3,
+    )
+    queries = generate_query_set(
+        data, QuerySetSpec(10, False, max(profile.queries_per_set, 2)), seed=4
+    )
+    rows = []
+    for name, builder in (("python", build_cpi), ("numpy", build_cpi_numpy)):
+        elapsed, size = 0.0, 0
+        for query in queries:
+            root = select_root(query, data)
+            started = time.perf_counter()
+            cpi = builder(query, data, root)
+            elapsed += time.perf_counter() - started
+            size += cpi.size()
+        rows.append([name, f"{1000 * elapsed / len(queries):.2f}", str(size)])
+    return rows
+
+
+def test_ablation_numpy_builder(benchmark, bench_profile):
+    rows = run_once(benchmark, _evaluate, bench_profile)
+    print()
+    print(format_table(["builder", "avg build ms", "total CPI size"], rows))
+    # identical CPIs -> identical total sizes
+    assert rows[0][2] == rows[1][2]

@@ -1,0 +1,17 @@
+"""Benchmark for Figures 1-2 / Section 3: the motivating example.
+
+Regenerates the cost-model gap (paper: T_iso = 200302 vs T'_iso = 2302)
+and times both matchers on the Figure 1 instance.
+"""
+
+from repro.bench.experiments import fig01_motivating
+
+from conftest import run_once, show
+
+
+def test_fig01_motivating(benchmark, bench_profile):
+    result = run_once(benchmark, fig01_motivating, bench_profile)
+    show(result)
+    raw = result.raw["t_iso"]
+    # the CFL order must beat the edge/path order by a wide margin
+    assert raw["bad"] > 10 * raw["good"]

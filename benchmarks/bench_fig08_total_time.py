@@ -1,0 +1,22 @@
+"""Benchmark for Figure 8: total processing time vs |V(q)|.
+
+Paper shape: CFL-Match consistently beats TurboISO which beats QuickSI;
+the gap widens with query size (QuickSI/TurboISO go INF on large queries).
+"""
+
+from repro.bench.experiments import fig08_total_time
+from repro.bench.harness import INF
+
+from conftest import run_once, show
+
+
+def test_fig08_total_time(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig08_total_time, bench_profile, datasets=("hprd", "yeast")
+    )
+    show(result)
+    for dataset, payload in result.raw.items():
+        series = payload["series"]
+        cfl = series["CFL-Match"]
+        # CFL-Match must finish every query set within budget
+        assert all(v != INF for v in cfl), dataset

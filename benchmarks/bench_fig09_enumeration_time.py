@@ -1,0 +1,15 @@
+"""Benchmark for Figure 9: embedding-enumeration time vs |V(q)|."""
+
+from repro.bench.experiments import fig09_enumeration_time
+from repro.bench.harness import INF
+
+from conftest import run_once, show
+
+
+def test_fig09_enumeration_time(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig09_enumeration_time, bench_profile, datasets=("hprd",)
+    )
+    show(result)
+    series = result.raw["hprd"]["series"]
+    assert all(v != INF for v in series["CFL-Match"])

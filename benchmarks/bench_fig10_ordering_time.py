@@ -1,0 +1,19 @@
+"""Benchmark for Figure 10: query-vertex ordering time.
+
+Paper shape: CFL-Match's ordering (CPI build + Algorithm 2) is polynomial,
+O(|E(q)| x |E(G)|), and smaller than TurboISO's CR materialization.
+"""
+
+from repro.bench.experiments import fig10_ordering_time
+from repro.bench.harness import INF
+
+from conftest import run_once, show
+
+
+def test_fig10_ordering_time(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig10_ordering_time, bench_profile, datasets=("hprd", "synthetic")
+    )
+    show(result)
+    for payload in result.raw.values():
+        assert all(v != INF for v in payload["series"]["CFL-Match"])

@@ -1,0 +1,13 @@
+"""Benchmark for Figure 11: enumeration time on query core-structures."""
+
+from repro.bench.experiments import fig11_core_structures
+
+from conftest import run_once, show
+
+
+def test_fig11_core_structures(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig11_core_structures, bench_profile, datasets=("hprd",)
+    )
+    show(result)
+    assert result.sections

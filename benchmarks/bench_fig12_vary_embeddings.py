@@ -1,0 +1,19 @@
+"""Benchmark for Figure 12: varying the number of requested embeddings.
+
+Paper shape: all algorithms slow down as #embeddings grows; CFL-Match
+stays fastest throughout.
+"""
+
+from repro.bench.experiments import fig12_vary_embeddings
+from repro.bench.harness import INF
+
+from conftest import run_once, show
+
+
+def test_fig12_vary_embeddings(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig12_vary_embeddings, bench_profile, datasets=("yeast",)
+    )
+    show(result)
+    cfl = result.raw["yeast"]["series"]["CFL-Match"]
+    assert all(v != INF for v in cfl)

@@ -1,0 +1,18 @@
+"""Benchmark for Figure 13 (Eval-IV): the data-graph compression boost.
+
+Paper shape: the boost helps on highly compressible graphs (Human, ~40%)
+and adds overhead on barely compressible ones (HPRD, <5%).
+"""
+
+from repro.bench.experiments import fig13_boost
+
+from conftest import run_once, show
+
+
+def test_fig13_boost(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig13_boost, bench_profile, datasets=("human", "hprd")
+    )
+    show(result)
+    for dataset, payload in result.raw.items():
+        assert 0.0 <= payload["ratio"] < 1.0

@@ -1,0 +1,18 @@
+"""Benchmark for Figure 14 (Eval-V): decomposition-framework ablation.
+
+Paper shape: CF-Match improves on Match, CFL-Match improves on CF-Match
+(postponed Cartesian products), most visibly on Yeast.
+"""
+
+from repro.bench.experiments import fig14_framework
+
+from conftest import run_once, show
+
+
+def test_fig14_framework(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig14_framework, bench_profile, datasets=("hprd", "yeast")
+    )
+    show(result)
+    for payload in result.raw.values():
+        assert set(payload["series"]) == {"Match", "CF-Match", "CFL-Match"}

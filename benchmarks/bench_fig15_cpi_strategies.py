@@ -1,0 +1,21 @@
+"""Benchmark for Figure 15 (Eval-VI): CPI construction strategies.
+
+Paper shape: naive CPI is drastically slower; top-down improves it;
+bottom-up refinement gives the best total time.
+"""
+
+from repro.bench.experiments import fig15_cpi_strategies
+from repro.bench.harness import INF
+
+from conftest import run_once, show
+
+
+def test_fig15_cpi_strategies(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig15_cpi_strategies, bench_profile, datasets=("hprd", "yeast")
+    )
+    show(result)
+    for payload in result.raw.values():
+        series = payload["series"]
+        finished = [v for v in series["CFL-Match"] if v != INF]
+        assert finished, "refined CPI must complete within budget"

@@ -1,0 +1,17 @@
+"""Benchmark for Figure 16 (Eval-VII): CFL-Match scalability sweeps.
+
+Paper shape: total time grows roughly linearly in |V(G)| and d(G);
+time and CPI size shrink as |Sigma| grows (fewer candidates per vertex).
+"""
+
+from repro.bench.experiments import fig16_scalability
+
+from conftest import run_once, show
+
+
+def test_fig16_scalability(benchmark, bench_profile):
+    result = run_once(benchmark, fig16_scalability, bench_profile)
+    show(result)
+    sizes = result.raw["vary_labels"]["index_size"]
+    # CPI index size decreases as the number of labels grows (Fig 16d)
+    assert sizes[0] > sizes[-1]

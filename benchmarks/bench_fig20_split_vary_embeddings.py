@@ -1,0 +1,22 @@
+"""Benchmark for Figure 20: ordering/enumeration split vs #embeddings.
+
+Paper shape: CFL-Match's ordering time is independent of #embeddings;
+TurboISO's grows with it (on-demand path materialization).
+"""
+
+from repro.bench.experiments import fig20_split_vary_embeddings
+from repro.bench.harness import INF
+
+from conftest import run_once, show
+
+
+def test_fig20_split(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig20_split_vary_embeddings, bench_profile, datasets=("hprd",)
+    )
+    show(result)
+    series = result.raw["hprd"]["series"]
+    ordering = [v for v in series["CFL-Match (ordering)"] if v != INF]
+    if len(ordering) >= 2 and ordering[0] > 0:
+        # CFL ordering time stays flat (within noise) across limits
+        assert max(ordering) <= 25 * min(v for v in ordering if v > 0) + 1.0

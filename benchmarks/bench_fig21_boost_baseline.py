@@ -1,0 +1,19 @@
+"""Benchmark for Figure 21: TurboISO-Boost on DBLP/WordNet proxies.
+
+Paper shape: the boost sometimes helps TurboISO on WordNet's tiny label
+alphabet, but CFL-Match significantly outperforms both.
+"""
+
+from repro.bench.experiments import fig21_boost_baseline
+from repro.bench.harness import INF
+
+from conftest import run_once, show
+
+
+def test_fig21_boost_baseline(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig21_boost_baseline, bench_profile, datasets=("wordnet",)
+    )
+    show(result)
+    series = result.raw["wordnet"]["series"]
+    assert all(v != INF for v in series["CFL-Match"])

@@ -1,0 +1,13 @@
+"""Benchmark for Figure 22: frequent vs infrequent vs random queries."""
+
+from repro.bench.experiments import fig22_frequent_queries
+
+from conftest import run_once, show
+
+
+def test_fig22_frequent_queries(benchmark, bench_profile):
+    result = run_once(
+        benchmark, fig22_frequent_queries, bench_profile, datasets=("wordnet",)
+    )
+    show(result)
+    assert "random" in result.raw["wordnet"]["classes"]

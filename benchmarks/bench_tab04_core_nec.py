@@ -1,0 +1,19 @@
+"""Benchmark for Table 4: NEC compressibility of query core-structures.
+
+Paper shape: cores barely compress (avg reduced vertices < ~1), which is
+why CFL-Match skips TurboISO's query compression for the core.
+"""
+
+from repro.bench.experiments import tab04_core_nec
+
+from conftest import run_once, show
+
+
+def test_tab04_core_nec(benchmark, bench_profile):
+    result = run_once(
+        benchmark, tab04_core_nec, bench_profile, datasets=("hprd", "yeast")
+    )
+    show(result)
+    for per_dataset in result.raw.values():
+        for avg, _count in per_dataset.values():
+            assert avg < 3.0  # cores are essentially incompressible

@@ -1,0 +1,45 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Each benchmark runs one paper experiment end-to-end (workload generation +
+all algorithms) exactly once via ``benchmark.pedantic`` and prints the
+paper-shaped result table (visible with ``pytest -s``).
+
+The default profile is deliberately small so the whole suite finishes in
+minutes of pure Python; set ``REPRO_BENCH_PROFILE=small`` (or ``paper``)
+for larger runs, or use the CLI (``cfl-match experiment fig08 --profile
+paper``) for full-shape reproductions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import PROFILES, Profile
+
+#: fast default: tiny graphs, 2 queries/set, small embedding cap.
+BENCH_DEFAULT = Profile(
+    name="bench", dataset_scale="tiny",
+    query_sizes=(4, 6, 8, 10), human_query_sizes=(4, 5, 6, 7),
+    queries_per_set=2, limit=200, set_budget_s=15.0,
+    sweep_vertices=(200, 400, 800), sweep_base_vertices=400,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> Profile:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "")
+    if name:
+        return PROFILES[name]
+    return BENCH_DEFAULT
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(result) -> None:
+    print()
+    print(result.render())

@@ -1,0 +1,49 @@
+"""Side-by-side comparison of every matcher in the repository.
+
+Generates a synthetic data graph (the paper's generator), extracts
+random-walk query sets (sparse and non-sparse), and prints a per-query-set
+timing table for all algorithms — a miniature version of Figure 8 you can
+tweak freely.
+
+Run:  python examples/compare_algorithms.py
+"""
+
+from repro.bench import format_ms, make_matcher, run_query_set
+from repro.bench.reporting import format_table
+from repro.graph import synthetic_graph
+from repro.workloads import QuerySetSpec, generate_query_set
+
+ALGORITHMS = [
+    "QuickSI",
+    "TurboISO",
+    "CFL-Match",
+    "CF-Match",
+    "Match",
+    "CFL-Match-Boost",
+]
+QUERY_SIZES = [6, 10]
+QUERIES_PER_SET = 3
+LIMIT = 1000          # report the first 1000 embeddings, like the paper
+BUDGET_S = 20.0       # per (algorithm, query set); exceeded -> INF
+
+print("Generating synthetic data graph (|V|=1500, d=6, |Sigma|=20)...")
+data = synthetic_graph(1500, avg_degree=6.0, num_labels=20, seed=3)
+print(f"  {data!r}\n")
+
+query_sets = {}
+for size in QUERY_SIZES:
+    for sparse in (True, False):
+        spec = QuerySetSpec(size, sparse=sparse, count=QUERIES_PER_SET)
+        query_sets[spec.name] = generate_query_set(data, spec, seed=size)
+
+rows = []
+for set_name, queries in query_sets.items():
+    row = [set_name]
+    for algorithm in ALGORITHMS:
+        matcher = make_matcher(algorithm, data)
+        result = run_query_set(matcher, queries, LIMIT, BUDGET_S, set_name)
+        row.append(format_ms(result.avg_total_ms))
+    rows.append(row)
+
+print(format_table(["query set"] + ALGORITHMS, rows))
+print("\n(values are avg total ms per query; INF = budget exhausted)")

@@ -1,0 +1,59 @@
+"""Protein-interaction motif search — the paper's motivating application.
+
+Searches a Yeast-like protein interaction network proxy for structural
+motifs (labeled paths, stars, and triangles), the workload protein
+network analysis performs [13].  Shows the CFL decomposition of each
+motif and compares CFL-Match against QuickSI.
+
+Run:  python examples/protein_motif_search.py
+"""
+
+import time
+
+from repro import CFLMatch, Graph, QuickSIMatch, cfl_decompose
+from repro.workloads import load_dataset
+
+print("Loading Yeast protein-interaction proxy (small scale)...")
+network = load_dataset("yeast", scale="small", seed=42)
+print(f"  {network!r}\n")
+
+# Three motifs over the network's label alphabet.  Labels are Gene
+# Ontology term ids in the real datasets; integers here.
+label_a, label_b, label_c = network.labels[0], network.labels[1], network.labels[2]
+
+motifs = {
+    "labeled 4-path": Graph(
+        [label_a, label_b, label_a, label_b],
+        [(0, 1), (1, 2), (2, 3)],
+    ),
+    "hub with 3 partners": Graph(
+        [label_a, label_b, label_b, label_c],
+        [(0, 1), (0, 2), (0, 3)],
+    ),
+    "triangle + tail": Graph(
+        [label_a, label_b, label_c, label_b],
+        [(0, 1), (1, 2), (0, 2), (2, 3)],
+    ),
+}
+
+cfl = CFLMatch(network)
+quicksi = QuickSIMatch(network)
+
+for name, motif in motifs.items():
+    decomposition = cfl_decompose(motif)
+    print(f"motif: {name}")
+    print(
+        f"  CFL decomposition: core={decomposition.core} "
+        f"forest={decomposition.forest} leaves={decomposition.leaves}"
+    )
+    started = time.perf_counter()
+    count = cfl.count(motif, limit=100_000)
+    cfl_ms = 1000 * (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    baseline_count = quicksi.count(motif, limit=100_000)
+    quicksi_ms = 1000 * (time.perf_counter() - started)
+
+    assert count == baseline_count, "matchers must agree"
+    print(f"  embeddings: {count}")
+    print(f"  CFL-Match {cfl_ms:.1f} ms   QuickSI {quicksi_ms:.1f} ms\n")

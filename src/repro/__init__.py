@@ -1,0 +1,53 @@
+"""CFL-Match: efficient subgraph matching by postponing Cartesian products.
+
+A from-scratch Python reproduction of Bi, Chang, Lin, Qin, Zhang,
+"Efficient Subgraph Matching by Postponing Cartesian Products",
+SIGMOD 2016.
+
+Quickstart::
+
+    from repro import Graph, CFLMatch
+
+    data = Graph(labels=[0, 1, 1, 2], edges=[(0, 1), (0, 2), (1, 3)])
+    query = Graph(labels=[0, 1], edges=[(0, 1)])
+    for embedding in CFLMatch(data).search(query):
+        print(embedding)  # embedding[u] is the data vertex u maps to
+"""
+
+from .graph import Graph, GraphError
+from .core import (
+    CFLMatch,
+    MatchReport,
+    PreparedQuery,
+    cfl_decompose,
+    count_embeddings,
+    find_embeddings,
+    validate_embedding,
+)
+from .baselines import (
+    BoostMatch,
+    QuickSIMatch,
+    TurboISOMatch,
+    UllmannMatch,
+    VF2Match,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "CFLMatch",
+    "MatchReport",
+    "PreparedQuery",
+    "cfl_decompose",
+    "count_embeddings",
+    "find_embeddings",
+    "validate_embedding",
+    "BoostMatch",
+    "QuickSIMatch",
+    "TurboISOMatch",
+    "UllmannMatch",
+    "VF2Match",
+    "__version__",
+]

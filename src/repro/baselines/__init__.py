@@ -1,0 +1,27 @@
+"""Baseline algorithms the paper evaluates against, plus the boost."""
+
+from .base import TimedMatcher
+from .compression import BoostMatch, CompressedGraph, compress_data_graph
+from .graphql import GraphQLMatch
+from .quicksi import QuickSIMatch, edge_label_frequencies
+from .spath import SPathMatch
+from .turboiso import NECTree, NECTreeNode, TurboISOMatch, build_nec_tree
+from .ullmann import UllmannMatch
+from .vf2 import VF2Match
+
+__all__ = [
+    "TimedMatcher",
+    "BoostMatch",
+    "CompressedGraph",
+    "compress_data_graph",
+    "GraphQLMatch",
+    "QuickSIMatch",
+    "edge_label_frequencies",
+    "SPathMatch",
+    "NECTree",
+    "NECTreeNode",
+    "TurboISOMatch",
+    "build_nec_tree",
+    "UllmannMatch",
+    "VF2Match",
+]

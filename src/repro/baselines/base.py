@@ -1,0 +1,107 @@
+"""Shared scaffolding for baseline matchers.
+
+Every matcher in this repository exposes the same trio — ``search``,
+``count`` and ``run`` — so the benchmark harness can treat CFL-Match, the
+baselines, and the ablation variants uniformly.  :class:`TimedMatcher`
+implements the trio on top of two hooks:
+
+* ``_prepare(query)`` — everything before enumeration (order selection,
+  index construction); its wall time is reported as ``ordering_time``;
+* ``_search_prepared(query, plan, limit, deadline)`` — the enumeration
+  generator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.core_match import SearchStats, SearchTimeout
+from ..core.matcher import MatchReport
+from ..graph.graph import Graph
+
+
+class TimedMatcher:
+    """Template for matchers with a prepare phase and a search phase."""
+
+    name = "matcher"
+
+    def __init__(self, data: Graph):
+        self.data = data
+
+    # -- hooks ----------------------------------------------------------
+    def _prepare(self, query: Graph) -> Any:
+        """Build whatever the search needs; return the plan object."""
+        raise NotImplementedError
+
+    def _search_prepared(
+        self,
+        query: Graph,
+        plan: Any,
+        limit: Optional[int],
+        deadline: Optional[float],
+    ) -> Iterator[Tuple[int, ...]]:
+        raise NotImplementedError
+
+    def _plan_index_size(self, plan: Any) -> int:
+        """Size of the auxiliary structure, for index-size comparisons."""
+        return 0
+
+    # -- uniform API ------------------------------------------------------
+    def search(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily yield embeddings until exhaustion, ``limit``, or deadline."""
+        if limit is not None and limit <= 0:
+            return
+        plan = self._prepare(query)
+        yield from self._search_prepared(query, plan, limit, deadline)
+
+    def count(self, query: Graph, limit: Optional[int] = None) -> int:
+        """Number of embeddings (capped by ``limit`` when given)."""
+        return sum(1 for _ in self.search(query, limit=limit))
+
+    def run(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        collect: bool = False,
+        deadline: Optional[float] = None,
+    ) -> MatchReport:
+        """Timed prepare + enumerate, mirroring :meth:`CFLMatch.run`."""
+        prep_started = time.perf_counter()
+        plan = self._prepare(query)
+        ordering_time = time.perf_counter() - prep_started
+
+        results: Optional[List[Tuple[int, ...]]] = [] if collect else None
+        found = 0
+        timed_out = False
+        started = time.perf_counter()
+        try:
+            for embedding in self._search_prepared(query, plan, limit, deadline):
+                found += 1
+                if collect and results is not None:
+                    results.append(embedding)
+                if (
+                    deadline is not None
+                    and found % 256 == 0
+                    and time.perf_counter() > deadline
+                ):
+                    timed_out = True
+                    break
+        except SearchTimeout:
+            timed_out = True
+        enumeration_time = time.perf_counter() - started
+        return MatchReport(
+            embeddings=found,
+            ordering_time=ordering_time,
+            enumeration_time=enumeration_time,
+            cpi_size=self._plan_index_size(plan),
+            candidate_counts=[],
+            stats=SearchStats(embeddings=found),
+            timed_out=timed_out,
+            results=results,
+        )

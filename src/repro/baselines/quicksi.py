@@ -1,0 +1,150 @@
+"""QuickSI [15] — infrequent-edge-first spanning-tree matching order.
+
+QuickSI builds its QI-sequence by growing a spanning tree of the query
+over the *least frequent* edges first, where the frequency of a query edge
+``(u, u')`` is the number of data edges whose endpoint labels match
+``{l(u), l(u')}`` — a minimum spanning tree under edge-frequency weights,
+seeded at the vertex with the rarest label (Prim's algorithm).  Matching
+then backtracks directly on the data graph along this connected order,
+checking all earlier query edges (tree and non-tree) on the fly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.core_match import SearchTimeout
+from ..graph.graph import Graph
+from .base import TimedMatcher
+
+
+def edge_label_frequencies(data: Graph) -> Dict[Tuple[int, int], int]:
+    """#data edges per unordered endpoint-label pair (QuickSI weights)."""
+    freq: Dict[Tuple[int, int], int] = {}
+    labels = data.labels
+    for u, v in data.edges():
+        key = (labels[u], labels[v]) if labels[u] <= labels[v] else (labels[v], labels[u])
+        freq[key] = freq.get(key, 0) + 1
+    return freq
+
+
+class QuickSIMatch(TimedMatcher):
+    """QuickSI subgraph matching over a fixed data graph."""
+
+    name = "QuickSI"
+
+    def __init__(self, data: Graph):
+        super().__init__(data)
+        self._edge_freq = edge_label_frequencies(data)
+
+    def _edge_weight(self, query: Graph, u: int, v: int) -> int:
+        lu, lv = query.label(u), query.label(v)
+        key = (lu, lv) if lu <= lv else (lv, lu)
+        return self._edge_freq.get(key, 0)
+
+    def _prepare(self, query: Graph) -> Any:
+        """QI-sequence: Prim's MST under edge-frequency weights."""
+        data = self.data
+        start = min(
+            query.vertices(),
+            key=lambda u: (data.label_frequency(query.label(u)), -query.degree(u), u),
+        )
+        order: List[int] = [start]
+        parent: List[Optional[int]] = [None] * query.num_vertices
+        in_tree = {start}
+        heap: List[Tuple[int, int, int, int]] = []
+        counter = 0
+        for w in query.neighbors(start):
+            heapq.heappush(heap, (self._edge_weight(query, start, w), counter, w, start))
+            counter += 1
+        while len(order) < query.num_vertices:
+            if not heap:
+                raise ValueError("QuickSI requires a connected query")
+            _, _, u, p = heapq.heappop(heap)
+            if u in in_tree:
+                continue
+            parent[u] = p
+            order.append(u)
+            in_tree.add(u)
+            for w in query.neighbors(u):
+                if w not in in_tree:
+                    heapq.heappush(heap, (self._edge_weight(query, u, w), counter, w, u))
+                    counter += 1
+        position = {u: i for i, u in enumerate(order)}
+        earlier = [
+            [w for w in query.neighbors(u) if position[w] < i]
+            for i, u in enumerate(order)
+        ]
+        return order, parent, earlier
+
+    def _search_prepared(
+        self,
+        query: Graph,
+        plan: Any,
+        limit: Optional[int],
+        deadline: Optional[float],
+    ) -> Iterator[Tuple[int, ...]]:
+        order, parent, earlier = plan
+        data = self.data
+        n = query.num_vertices
+        mapping = [-1] * n
+        used = bytearray(data.num_vertices)
+        emitted = 0
+        nodes = 0
+
+        def slot_candidates(depth: int) -> Iterator[int]:
+            u = order[depth]
+            p = parent[u]
+            if p is None:
+                u_degree = query.degree(u)
+                return iter(
+                    v
+                    for v in data.vertices_with_label(query.label(u))
+                    if data.degree(v) >= u_degree
+                )
+            return iter(data.neighbors(mapping[p]))
+
+        iterators: List[Optional[Iterator[int]]] = [None] * n
+        iterators[0] = slot_candidates(0)
+        depth = 0
+        while depth >= 0:
+            u = order[depth]
+            u_label = query.label(u)
+            u_degree = query.degree(u)
+            descended = False
+            for v in iterators[depth]:  # type: ignore[arg-type]
+                if used[v] or data.label(v) != u_label or data.degree(v) < u_degree:
+                    continue
+                v_nbrs = data.neighbor_set(v)
+                if any(mapping[w] not in v_nbrs for w in earlier[depth]):
+                    continue
+                nodes += 1
+                if (
+                    deadline is not None
+                    and (nodes & 1023) == 0
+                    and time.perf_counter() > deadline
+                ):
+                    raise SearchTimeout
+                mapping[u] = v
+                used[v] = 1
+                if depth == n - 1:
+                    emitted += 1
+                    yield tuple(mapping)
+                    used[v] = 0
+                    mapping[u] = -1
+                    if limit is not None and emitted >= limit:
+                        return
+                    continue
+                depth += 1
+                iterators[depth] = slot_candidates(depth)
+                descended = True
+                break
+            if descended:
+                continue
+            depth -= 1
+            if depth >= 0:
+                u = order[depth]
+                used[mapping[u]] = 0
+                mapping[u] = -1

@@ -1,0 +1,333 @@
+"""TurboISO [8] — candidate regions + path ordering (the state of the art
+the paper compares against).
+
+Faithful structure:
+
+1. **Start vertex**: ``argmin rank(u) = freq(G, l(u)) / d(u)``.
+2. **NEC tree**: BFS spanning tree of the query from the start vertex with
+   degree-one same-label siblings merged into NEC nodes (TurboISO's query
+   rewrite; internal vertices of random queries almost never merge —
+   paper Table 4).
+3. **ExploreCR**: for each data candidate of the start vertex, materialize
+   the *candidate region* as an **instance tree**: one node per (query
+   node, data vertex, parent instance) triple.  This is the structure
+   whose worst case is exponential, ``O(|V(G)|^{|V(q)|-1})`` (paper
+   Section A.3) — instances are duplicated per parent chain and nothing
+   is shared.  A configurable node budget models TurboISO's memory
+   crashes: exceeding it raises :class:`SearchTimeout`.
+4. **Path ordering**: root-to-leaf paths of the NEC tree ordered by their
+   exact embedding counts in the CR (leaf-instance tallies).
+5. **SubgraphSearch**: backtracking over the CR with non-tree edges
+   checked against the data graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.core_match import SearchTimeout
+from ..graph.graph import Graph
+from .base import TimedMatcher
+
+
+@dataclass
+class NECTreeNode:
+    """Node of TurboISO's rewritten query tree (singleton or merged leaves)."""
+
+    id: int
+    members: Tuple[int, ...]
+    parent: Optional[int]
+    children: List[int] = field(default_factory=list)
+
+
+@dataclass
+class NECTree:
+    """BFS spanning tree of the query with leaf NECs merged."""
+
+    nodes: List[NECTreeNode]
+    node_of_vertex: Dict[int, int]
+    non_tree_neighbors: List[List[int]]  # per query vertex
+
+    @property
+    def root(self) -> NECTreeNode:
+        return self.nodes[0]
+
+
+class _CRNode:
+    """One instance of a query node inside a candidate region."""
+
+    __slots__ = ("v", "children")
+
+    def __init__(self, v: int):
+        self.v = v
+        self.children: Dict[int, List["_CRNode"]] = {}
+
+
+def build_nec_tree(query: Graph, start: int) -> NECTree:
+    """BFS tree from ``start`` with degree-one same-label siblings merged."""
+    parent, _level = query.bfs_tree(start)
+    children: List[List[int]] = [[] for _ in range(query.num_vertices)]
+    for v in query.vertices():
+        p = parent[v]
+        if p is not None and p != -1:
+            children[p].append(v)
+
+    nodes: List[NECTreeNode] = []
+    node_of_vertex: Dict[int, int] = {}
+
+    def add_node(members: Tuple[int, ...], parent_id: Optional[int]) -> int:
+        node_id = len(nodes)
+        nodes.append(NECTreeNode(id=node_id, members=members, parent=parent_id))
+        for u in members:
+            node_of_vertex[u] = node_id
+        if parent_id is not None:
+            nodes[parent_id].children.append(node_id)
+        return node_id
+
+    def expand(u: int, node_id: int) -> None:
+        leaf_groups: Dict[int, List[int]] = {}
+        internal: List[int] = []
+        for c in children[u]:
+            if query.degree(c) == 1:
+                leaf_groups.setdefault(query.label(c), []).append(c)
+            else:
+                internal.append(c)
+        for c in internal:
+            expand(c, add_node((c,), node_id))
+        for _, members in sorted(leaf_groups.items()):
+            add_node(tuple(members), node_id)
+
+    root_id = add_node((start,), None)
+    expand(start, root_id)
+
+    non_tree: List[List[int]] = [[] for _ in range(query.num_vertices)]
+    for u, v in query.edges():
+        if parent[u] == v or parent[v] == u:
+            continue
+        non_tree[u].append(v)
+        non_tree[v].append(u)
+    return NECTree(nodes=nodes, node_of_vertex=node_of_vertex, non_tree_neighbors=non_tree)
+
+
+class TurboISOMatch(TimedMatcher):
+    """TurboISO subgraph matching over a fixed data graph.
+
+    ``cr_node_budget`` caps the total number of materialized CR instances
+    per query (all regions combined); exceeding it raises
+    :class:`SearchTimeout`, reproducing the "cannot finish / crashes"
+    behaviour the paper reports for exponential regions.
+    """
+
+    name = "TurboISO"
+
+    def __init__(self, data: Graph, cr_node_budget: int = 2_000_000):
+        super().__init__(data)
+        self.cr_node_budget = cr_node_budget
+
+    # ------------------------------------------------------------------
+    # Preparation: start vertex + NEC tree
+    # ------------------------------------------------------------------
+    def _prepare(self, query: Graph) -> NECTree:
+        data = self.data
+        start = min(
+            query.vertices(),
+            key=lambda u: (
+                data.label_frequency(query.label(u)) / max(query.degree(u), 1),
+                u,
+            ),
+        )
+        return build_nec_tree(query, start)
+
+    # ------------------------------------------------------------------
+    # Candidate region exploration
+    # ------------------------------------------------------------------
+    def _explore_cr(
+        self,
+        query: Graph,
+        tree: NECTree,
+        node: NECTreeNode,
+        v: int,
+        budget: List[int],
+        deadline: Optional[float],
+    ) -> Optional[_CRNode]:
+        """Materialize the instance subtree for ``node -> v`` (ExploreCR)."""
+        data = self.data
+        u = node.members[0]
+        if data.label(v) != query.label(u) or data.degree(v) < query.degree(u):
+            return None
+        budget[0] -= 1
+        if budget[0] <= 0:
+            raise SearchTimeout
+        if (
+            deadline is not None
+            and (budget[0] & 2047) == 0
+            and time.perf_counter() > deadline
+        ):
+            raise SearchTimeout
+        instance = _CRNode(v)
+        for child_id in node.children:
+            child = tree.nodes[child_id]
+            child_instances: List[_CRNode] = []
+            for v_c in data.neighbors(v):
+                sub = self._explore_cr(query, tree, child, v_c, budget, deadline)
+                if sub is not None:
+                    child_instances.append(sub)
+            if len(child_instances) < len(child.members):
+                return None  # this region branch cannot host the subtree
+            instance.children[child_id] = child_instances
+        return instance
+
+    # ------------------------------------------------------------------
+    # Path ordering inside a region
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _root_to_leaf_paths(tree: NECTree) -> List[List[int]]:
+        paths: List[List[int]] = []
+        stack: List[Tuple[int, List[int]]] = [(0, [0])]
+        while stack:
+            node_id, path = stack.pop()
+            node = tree.nodes[node_id]
+            if not node.children:
+                paths.append(path)
+                continue
+            for c in reversed(node.children):
+                stack.append((c, path + [c]))
+        return paths
+
+    @staticmethod
+    def _instance_tallies(region: _CRNode, tree: NECTree) -> Dict[int, int]:
+        """#instances per NEC-tree node in this region's CR."""
+        tallies: Dict[int, int] = {0: 1}
+        stack = [region]
+        while stack:
+            inst = stack.pop()
+            for child_id, instances in inst.children.items():
+                tallies[child_id] = tallies.get(child_id, 0) + len(instances)
+                stack.extend(instances)
+        return tallies
+
+    def _matching_order(self, tree: NECTree, region: _CRNode) -> List[int]:
+        """Concatenate paths ordered by ascending CR embedding counts."""
+        tallies = self._instance_tallies(region, tree)
+        paths = self._root_to_leaf_paths(tree)
+        paths.sort(key=lambda p: (tallies.get(p[-1], 0), p))
+        order: List[int] = []
+        placed = set()
+        for path in paths:
+            for node_id in path:
+                if node_id not in placed:
+                    order.append(node_id)
+                    placed.add(node_id)
+        return order
+
+    # ------------------------------------------------------------------
+    # SubgraphSearch
+    # ------------------------------------------------------------------
+    def _search_prepared(
+        self,
+        query: Graph,
+        plan: NECTree,
+        limit: Optional[int],
+        deadline: Optional[float],
+    ) -> Iterator[Tuple[int, ...]]:
+        tree = plan
+        data = self.data
+        root_vertex = tree.root.members[0]
+        root_degree = query.degree(root_vertex)
+        budget = [self.cr_node_budget]
+        emitted = 0
+        mapping = [-1] * query.num_vertices
+        used = bytearray(data.num_vertices)
+        for v_s in data.vertices_with_label(query.label(root_vertex)):
+            if data.degree(v_s) < root_degree:
+                continue
+            region = self._explore_cr(query, tree, tree.root, v_s, budget, deadline)
+            if region is None:
+                continue
+            order = self._matching_order(tree, region)
+            for full in self._subgraph_search(query, tree, region, order, mapping, used, deadline):
+                emitted += 1
+                yield full
+                if limit is not None and emitted >= limit:
+                    return
+
+    def _subgraph_search(
+        self,
+        query: Graph,
+        tree: NECTree,
+        region: _CRNode,
+        order: List[int],
+        mapping: List[int],
+        used: bytearray,
+        deadline: Optional[float],
+    ) -> Iterator[Tuple[int, ...]]:
+        """Backtracking over the CR instance tree (recursive generators;
+        depth is bounded by the number of NEC-tree nodes)."""
+        data = self.data
+        node_of_vertex = tree.node_of_vertex
+        non_tree = tree.non_tree_neighbors
+        chosen_instance: Dict[int, _CRNode] = {}
+        nodes_seen = [0]
+
+        def assign_ok(u: int, v: int) -> bool:
+            if used[v]:
+                return False
+            v_nbrs = data.neighbor_set(v)
+            for w in non_tree[u]:
+                w_image = mapping[w]
+                if w_image != -1 and w_image not in v_nbrs:
+                    return False
+            return True
+
+        def descend(depth: int) -> Iterator[Tuple[int, ...]]:
+            if depth == len(order):
+                yield tuple(mapping)
+                return
+            node = tree.nodes[order[depth]]
+            if node.parent is None:
+                instances = [region]
+            else:
+                parent_inst = chosen_instance[node.parent]
+                instances = parent_inst.children.get(node.id, [])
+            nodes_seen[0] += 1
+            if (
+                deadline is not None
+                and (nodes_seen[0] & 255) == 0
+                and time.perf_counter() > deadline
+            ):
+                raise SearchTimeout
+            members = node.members
+            if len(members) == 1:
+                u = members[0]
+                for inst in instances:
+                    if not assign_ok(u, inst.v):
+                        continue
+                    mapping[u] = inst.v
+                    used[inst.v] = 1
+                    chosen_instance[node.id] = inst
+                    yield from descend(depth + 1)
+                    used[inst.v] = 0
+                    mapping[u] = -1
+            else:
+                # NEC leaves: permute distinct instances among members.
+                distinct: List[int] = []
+                seen_vertices = set()
+                for inst in instances:
+                    if inst.v not in seen_vertices:
+                        seen_vertices.add(inst.v)
+                        distinct.append(inst.v)
+                for images in permutations(distinct, len(members)):
+                    if any(not assign_ok(u, v) for u, v in zip(members, images)):
+                        continue
+                    for u, v in zip(members, images):
+                        mapping[u] = v
+                        used[v] = 1
+                    yield from descend(depth + 1)
+                    for u, v in zip(members, images):
+                        mapping[u] = -1
+                        used[v] = 0
+
+        yield from descend(0)

@@ -1,0 +1,153 @@
+"""Ullmann's algorithm [19] (1976), the original backtracking baseline.
+
+Maps query vertices in plain input order (no connectivity requirement),
+pruning with a label/degree candidate matrix and a one-step refinement:
+a candidate ``v`` for ``u`` must have, for every query neighbor ``u'`` of
+``u``, at least one candidate neighbor in ``C(u')``.  This mirrors the
+classic algorithm's matrix refinement procedure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from ..core.core_match import SearchStats, SearchTimeout
+from ..core.matcher import MatchReport
+
+
+class UllmannMatch:
+    """Ullmann's subgraph-isomorphism backtracking."""
+
+    name = "Ullmann"
+
+    def __init__(self, data: Graph):
+        self.data = data
+
+    def _candidates(self, query: Graph) -> List[List[int]]:
+        data = self.data
+        candidates = [
+            [
+                v
+                for v in data.vertices_with_label(query.label(u))
+                if data.degree(v) >= query.degree(u)
+            ]
+            for u in query.vertices()
+        ]
+        # Ullmann's refinement: iterate until fixpoint.
+        changed = True
+        cand_sets = [set(c) for c in candidates]
+        while changed:
+            changed = False
+            for u in query.vertices():
+                kept = []
+                for v in candidates[u]:
+                    v_nbrs = data.neighbor_set(v)
+                    if all(
+                        any(w in v_nbrs for w in cand_sets[u_prime])
+                        for u_prime in query.neighbors(u)
+                    ):
+                        kept.append(v)
+                if len(kept) != len(candidates[u]):
+                    candidates[u] = kept
+                    cand_sets[u] = set(kept)
+                    changed = True
+        return candidates
+
+    def search(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Yield embeddings in query-vertex input order."""
+        if limit is not None and limit <= 0:
+            return
+        data = self.data
+        candidates = self._candidates(query)
+        if any(not c for c in candidates):
+            return
+        n = query.num_vertices
+        mapping = [-1] * n
+        used = bytearray(data.num_vertices)
+        earlier_neighbors = [
+            [w for w in query.neighbors(u) if w < u] for u in query.vertices()
+        ]
+        emitted = 0
+        nodes = 0
+        iterators: List[Optional[Iterator[int]]] = [None] * n
+        iterators[0] = iter(candidates[0])
+        depth = 0
+        while depth >= 0:
+            descended = False
+            for v in iterators[depth]:  # type: ignore[arg-type]
+                if used[v]:
+                    continue
+                v_nbrs = data.neighbor_set(v)
+                if any(mapping[w] not in v_nbrs for w in earlier_neighbors[depth]):
+                    continue
+                nodes += 1
+                if (
+                    deadline is not None
+                    and (nodes & 1023) == 0
+                    and time.perf_counter() > deadline
+                ):
+                    raise SearchTimeout
+                mapping[depth] = v
+                used[v] = 1
+                if depth == n - 1:
+                    emitted += 1
+                    yield tuple(mapping)
+                    used[v] = 0
+                    mapping[depth] = -1
+                    if limit is not None and emitted >= limit:
+                        return
+                    continue
+                depth += 1
+                iterators[depth] = iter(candidates[depth])
+                descended = True
+                break
+            if descended:
+                continue
+            depth -= 1
+            if depth >= 0:
+                used[mapping[depth]] = 0
+                mapping[depth] = -1
+
+    def count(self, query: Graph, limit: Optional[int] = None) -> int:
+        return sum(1 for _ in self.search(query, limit=limit))
+
+    def run(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        collect: bool = False,
+        deadline: Optional[float] = None,
+    ) -> MatchReport:
+        """Timed run with the shared :class:`MatchReport` shape."""
+        started = time.perf_counter()
+        results: Optional[List[Tuple[int, ...]]] = [] if collect else None
+        found = 0
+        timed_out = False
+        try:
+            for embedding in self.search(query, limit=limit, deadline=deadline):
+                found += 1
+                if collect and results is not None:
+                    results.append(embedding)
+                if deadline is not None and found % 256 == 0 and time.perf_counter() > deadline:
+                    timed_out = True
+                    break
+        except SearchTimeout:
+            timed_out = True
+        elapsed = time.perf_counter() - started
+        return MatchReport(
+            embeddings=found,
+            ordering_time=0.0,
+            enumeration_time=elapsed,
+            cpi_size=0,
+            candidate_counts=[],
+            stats=SearchStats(embeddings=found),
+            timed_out=timed_out,
+            results=results,
+        )

@@ -1,0 +1,149 @@
+"""VF2 [4] — connected matching order with state-space feasibility rules.
+
+VF2 grows a partial mapping along a connectivity-enforcing order and
+prunes with its classic feasibility rules adapted to *monomorphism*
+semantics (the paper's notion of embedding):
+
+* **consistency** — every already-mapped query neighbor of the candidate
+  query vertex must map to a data neighbor of the candidate data vertex;
+* **lookahead** — the number of unmapped query neighbors of ``u`` must not
+  exceed the number of unused data neighbors of ``v``.
+
+(The induced-isomorphism variants of the rules do not apply to
+monomorphisms and are deliberately omitted.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+import time
+
+from ..core.core_match import SearchTimeout
+from ..graph.graph import Graph
+from .base import TimedMatcher
+
+
+class VF2Match(TimedMatcher):
+    """VF2-style subgraph matching over a fixed data graph."""
+
+    name = "VF2"
+
+    def _prepare(self, query: Graph) -> Any:
+        # Connected order: start at the rarest-label vertex, expand by BFS.
+        data = self.data
+        start = min(
+            query.vertices(),
+            key=lambda u: (data.label_frequency(query.label(u)), -query.degree(u), u),
+        )
+        order: List[int] = [start]
+        seen = {start}
+        frontier = list(query.neighbors(start))
+        while len(order) < query.num_vertices:
+            frontier = [w for w in frontier if w not in seen]
+            if not frontier:
+                raise ValueError("VF2 requires a connected query")
+            nxt = min(
+                frontier,
+                key=lambda u: (data.label_frequency(query.label(u)), -query.degree(u), u),
+            )
+            order.append(nxt)
+            seen.add(nxt)
+            frontier.extend(query.neighbors(nxt))
+        earlier = [
+            [w for w in query.neighbors(u) if w in set(order[:i])]
+            for i, u in enumerate(order)
+        ]
+        return order, earlier
+
+    def _search_prepared(
+        self,
+        query: Graph,
+        plan: Any,
+        limit: Optional[int],
+        deadline: Optional[float],
+    ) -> Iterator[Tuple[int, ...]]:
+        order, earlier = plan
+        data = self.data
+        n = query.num_vertices
+        mapping = [-1] * n
+        used = bytearray(data.num_vertices)
+        emitted = 0
+        nodes = 0
+        iterators: List[Optional[Iterator[int]]] = [None] * n
+        iterators[0] = iter(self._root_candidates(query, order[0]))
+        depth = 0
+        while depth >= 0:
+            u = order[depth]
+            descended = False
+            for v in iterators[depth]:  # type: ignore[arg-type]
+                if used[v]:
+                    continue
+                if not self._feasible(query, u, v, mapping, earlier[depth], used):
+                    continue
+                nodes += 1
+                if (
+                    deadline is not None
+                    and (nodes & 1023) == 0
+                    and time.perf_counter() > deadline
+                ):
+                    raise SearchTimeout
+                mapping[u] = v
+                used[v] = 1
+                if depth == n - 1:
+                    emitted += 1
+                    yield tuple(mapping)
+                    used[v] = 0
+                    mapping[u] = -1
+                    if limit is not None and emitted >= limit:
+                        return
+                    continue
+                depth += 1
+                next_u = order[depth]
+                anchor = earlier[depth][0] if earlier[depth] else None
+                if anchor is None:
+                    iterators[depth] = iter(self._root_candidates(query, next_u))
+                else:
+                    iterators[depth] = iter(data.neighbors(mapping[anchor]))
+                descended = True
+                break
+            if descended:
+                continue
+            depth -= 1
+            if depth >= 0:
+                u = order[depth]
+                used[mapping[u]] = 0
+                mapping[u] = -1
+
+    def _root_candidates(self, query: Graph, u: int) -> List[int]:
+        data = self.data
+        u_degree = query.degree(u)
+        return [
+            v
+            for v in data.vertices_with_label(query.label(u))
+            if data.degree(v) >= u_degree
+        ]
+
+    def _feasible(
+        self,
+        query: Graph,
+        u: int,
+        v: int,
+        mapping: List[int],
+        earlier_neighbors: List[int],
+        used: bytearray,
+    ) -> bool:
+        data = self.data
+        if data.label(v) != query.label(u) or data.degree(v) < query.degree(u):
+            return False
+        v_nbrs = data.neighbor_set(v)
+        for w in earlier_neighbors:
+            if mapping[w] not in v_nbrs:
+                return False
+        # Lookahead: enough unused data neighbors for unmapped query nbrs.
+        unmapped_query_nbrs = sum(1 for w in query.neighbors(u) if mapping[w] == -1)
+        if unmapped_query_nbrs:
+            free_data_nbrs = sum(1 for x in data.neighbors(v) if not used[x])
+            if free_data_nbrs < unmapped_query_nbrs:
+                return False
+        return True

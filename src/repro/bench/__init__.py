@@ -1,0 +1,31 @@
+"""Benchmark harness, reporting, and the per-figure experiment registry."""
+
+from .harness import (
+    INF,
+    MATCHERS,
+    QuerySetResult,
+    format_ms,
+    make_matcher,
+    run_algorithms,
+    run_query_set,
+)
+from .experiments import EXPERIMENTS, PROFILES, ExperimentResult, Profile, run_experiment
+from .reporting import format_table, series_table, speedup
+
+__all__ = [
+    "INF",
+    "MATCHERS",
+    "QuerySetResult",
+    "format_ms",
+    "make_matcher",
+    "run_algorithms",
+    "run_query_set",
+    "EXPERIMENTS",
+    "PROFILES",
+    "ExperimentResult",
+    "Profile",
+    "run_experiment",
+    "format_table",
+    "series_table",
+    "speedup",
+]

@@ -1,0 +1,583 @@
+"""One experiment per table/figure of the paper's evaluation (Section 6).
+
+Every experiment renders the paper's chart as a text table: rows are the
+x-axis categories (query sets, graph sizes, ...), columns the plotted
+series.  A :class:`Profile` scales the workload: the paper ran C++ on
+100k-vertex graphs with 100 queries per set and a 5-hour budget; the
+default profiles shrink graphs, query sizes and budgets proportionally so
+a pure-Python run finishes on a laptop while preserving the *shapes*
+(who wins, by what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.compression import compress_data_graph
+from ..core.cost_model import evaluate_order_cost
+from ..core.decomposition import cfl_decompose
+from ..core.nec import nec_reduction
+from ..graph.graph import Graph
+from ..workloads.datasets import load_dataset, synthetic_sweep_degree, synthetic_sweep_labels, synthetic_sweep_vertices
+from ..workloads.paper_graphs import figure1_example
+from ..workloads.queries import QuerySetSpec, generate_query_set
+from .harness import INF, QuerySetResult, make_matcher, run_query_set
+from .reporting import format_table, series_table
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Workload scaling knobs shared by all experiments."""
+
+    name: str
+    dataset_scale: str           # key into workloads.datasets.SCALES
+    query_sizes: Tuple[int, ...]          # |V(q)| sweep (non-Human datasets)
+    human_query_sizes: Tuple[int, ...]    # |V(q)| sweep for the Human proxy
+    queries_per_set: int
+    limit: int                   # #embeddings to report
+    set_budget_s: float          # per-(algorithm, query set) budget -> INF
+    sweep_vertices: Tuple[int, ...]       # Figure 16(a) |V(G)| values
+    sweep_base_vertices: int              # |V(G)| for the d / |Sigma| sweeps
+    seed: int = 7
+
+    @property
+    def default_size(self) -> int:
+        """The q50-analog default query size."""
+        return self.query_sizes[1]
+
+    @property
+    def human_default_size(self) -> int:
+        return self.human_query_sizes[1]
+
+
+PROFILES: Dict[str, Profile] = {
+    "smoke": Profile(
+        name="smoke", dataset_scale="tiny",
+        query_sizes=(4, 6, 8, 10), human_query_sizes=(4, 5, 6, 7),
+        queries_per_set=3, limit=100, set_budget_s=10.0,
+        sweep_vertices=(300, 600, 1200), sweep_base_vertices=600,
+    ),
+    "small": Profile(
+        name="small", dataset_scale="small",
+        query_sizes=(8, 12, 16, 24), human_query_sizes=(5, 7, 9, 11),
+        queries_per_set=5, limit=1000, set_budget_s=60.0,
+        sweep_vertices=(1000, 3000, 6000), sweep_base_vertices=2000,
+    ),
+    "paper": Profile(
+        name="paper", dataset_scale="medium",
+        query_sizes=(25, 50, 100, 200), human_query_sizes=(10, 15, 20, 25),
+        queries_per_set=10, limit=100_000, set_budget_s=600.0,
+        sweep_vertices=(20_000, 60_000, 120_000), sweep_base_vertices=20_000,
+    ),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered tables plus the raw numbers behind them."""
+
+    name: str
+    title: str
+    sections: List[Tuple[str, str]]
+    raw: Dict[str, object]
+
+    def render(self) -> str:
+        parts = [f"== {self.name}: {self.title} =="]
+        for subtitle, table in self.sections:
+            parts.append(f"-- {subtitle} --")
+            parts.append(table)
+        return "\n\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Workload construction helpers (cached within a process)
+# ----------------------------------------------------------------------
+_GRAPH_CACHE: Dict[Tuple, Graph] = {}
+_QUERY_CACHE: Dict[Tuple, List[Graph]] = {}
+
+
+def _data_graph(dataset: str, profile: Profile) -> Graph:
+    key = (dataset, profile.dataset_scale, profile.seed)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = load_dataset(dataset, profile.dataset_scale, seed=profile.seed)
+    return _GRAPH_CACHE[key]
+
+
+def _query_set(data: Graph, dataset: str, size: int, sparse: bool, profile: Profile) -> List[Graph]:
+    key = (dataset, profile.dataset_scale, profile.seed, size, sparse, profile.queries_per_set)
+    if key not in _QUERY_CACHE:
+        spec = QuerySetSpec(size, sparse=sparse, count=profile.queries_per_set)
+        _QUERY_CACHE[key] = generate_query_set(data, spec, seed=profile.seed + size + int(sparse))
+    return _QUERY_CACHE[key]
+
+
+def _sizes_for(dataset: str, profile: Profile) -> Tuple[int, ...]:
+    return profile.human_query_sizes if dataset == "human" else profile.query_sizes
+
+
+def _all_query_sets(dataset: str, profile: Profile) -> Tuple[Graph, Dict[str, List[Graph]]]:
+    """The paper's 8 query sets for one dataset (Table 3)."""
+    data = _data_graph(dataset, profile)
+    sets: Dict[str, List[Graph]] = {}
+    for size in _sizes_for(dataset, profile):
+        sets[f"q{size}S"] = _query_set(data, dataset, size, True, profile)
+        sets[f"q{size}N"] = _query_set(data, dataset, size, False, profile)
+    return data, sets
+
+
+def _default_query_sets(dataset: str, profile: Profile) -> Tuple[Graph, Dict[str, List[Graph]]]:
+    """The default pair (q50S/q50N analog)."""
+    data = _data_graph(dataset, profile)
+    size = profile.human_default_size if dataset == "human" else profile.default_size
+    return data, {
+        f"q{size}S": _query_set(data, dataset, size, True, profile),
+        f"q{size}N": _query_set(data, dataset, size, False, profile),
+    }
+
+
+def _largest_query_sets(dataset: str, profile: Profile) -> Tuple[Graph, Dict[str, List[Graph]]]:
+    """The largest size pair — the leaf-heaviest queries of the profile.
+
+    Used by the framework ablation (Figure 14): the Cartesian products the
+    CFL decomposition postpones only materialize on queries with many
+    forest/leaf vertices, which at scaled-down sizes means the largest set.
+    """
+    data = _data_graph(dataset, profile)
+    size = (profile.human_query_sizes if dataset == "human" else profile.query_sizes)[-1]
+    return data, {
+        f"q{size}S": _query_set(data, dataset, size, True, profile),
+        f"q{size}N": _query_set(data, dataset, size, False, profile),
+    }
+
+
+def _run_matrix(
+    data: Graph,
+    sets: Dict[str, List[Graph]],
+    algorithms: Sequence[str],
+    profile: Profile,
+    metric: Callable[[QuerySetResult], float],
+    limit: Optional[int] = None,
+) -> Dict[str, List[float]]:
+    """series name -> metric per query set (in ``sets`` iteration order)."""
+    series: Dict[str, List[float]] = {}
+    for name in algorithms:
+        matcher = make_matcher(name, data)
+        values: List[float] = []
+        for set_name, queries in sets.items():
+            result = run_query_set(
+                matcher, queries,
+                profile.limit if limit is None else limit,
+                profile.set_budget_s, set_name,
+            )
+            values.append(metric(result))
+        series[name] = values
+    return series
+
+
+def _time_sweep_experiment(
+    name: str,
+    title: str,
+    profile: Profile,
+    datasets: Sequence[str],
+    algorithms: Sequence[str],
+    metric_name: str,
+) -> ExperimentResult:
+    """Common shape of Figures 8-10: per dataset, algorithms x query sets."""
+    metric = {
+        "total": lambda r: r.avg_total_ms,
+        "enumeration": lambda r: r.avg_enumeration_ms,
+        "ordering": lambda r: r.avg_ordering_ms,
+    }[metric_name]
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets:
+        data, sets = _all_query_sets(dataset, profile)
+        series = _run_matrix(data, sets, algorithms, profile, metric)
+        sections.append(
+            (f"{dataset} ({metric_name} time, ms/query)",
+             series_table("query set", list(sets), series))
+        )
+        raw[dataset] = {"sets": list(sets), "series": series}
+    return ExperimentResult(name, title, sections, raw)
+
+
+# ----------------------------------------------------------------------
+# The experiments
+# ----------------------------------------------------------------------
+def fig01_motivating(profile: Profile) -> ExperimentResult:
+    """Figures 1-2 / Section 3: the dissimilar-vertex Cartesian product."""
+    scale = {"smoke": (20, 100), "small": (100, 1000), "paper": (100, 1000)}.get(
+        profile.name, (100, 1000)
+    )
+    example = figure1_example(*scale)
+    q = example.q
+    order_bad = [q(n) for n in ("u1", "u2", "u3", "u4", "u5", "u6")]
+    order_good = [q(n) for n in ("u1", "u2", "u5", "u3", "u4", "u6")]
+    parent: List[Optional[int]] = [None] * 6
+    for child, par in (("u2", "u1"), ("u3", "u2"), ("u4", "u3"), ("u5", "u1"), ("u6", "u5")):
+        parent[q(child)] = q(par)
+    bad = evaluate_order_cost(example.query, example.data, order_bad, parent)
+    good = evaluate_order_cost(example.query, example.data, order_good, parent)
+    rows = [
+        ["(u1,u2,u3,u4,u5,u6)  [edge/path ordering]", str(bad.total)],
+        ["(u1,u2,u5,u3,u4,u6)  [CFL ordering]", str(good.total)],
+        ["ratio", f"{bad.total / good.total:.1f}x"],
+    ]
+    timing_series: Dict[str, List[float]] = {}
+    for algo in ("QuickSI", "CFL-Match"):
+        matcher = make_matcher(algo, example.data)
+        report = matcher.run(example.query, limit=None)
+        timing_series[algo] = [1000.0 * report.total_time]
+    sections = [
+        ("cost model T_iso (Section 3; paper: 200302 vs 2302 at full size)",
+         format_table(["matching order", "T_iso"], rows)),
+        ("measured total time on the Figure 1 instance (ms)",
+         series_table("instance", ["figure-1"], timing_series)),
+    ]
+    return ExperimentResult(
+        "fig01", "Motivating example: postponing Cartesian products",
+        sections, {"t_iso": {"bad": bad.total, "good": good.total}},
+    )
+
+
+def fig08_total_time(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 8: total processing time vs |V(q)| against prior algorithms."""
+    return _time_sweep_experiment(
+        "fig08", "Against existing algorithms (total processing time)",
+        profile, datasets or ("hprd", "yeast", "synthetic", "human"),
+        ("QuickSI", "TurboISO", "CFL-Match"), "total",
+    )
+
+
+def fig09_enumeration_time(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 9: embedding-enumeration time vs |V(q)|."""
+    return _time_sweep_experiment(
+        "fig09", "Against existing algorithms (enumeration time)",
+        profile, datasets or ("hprd", "synthetic"),
+        ("QuickSI", "TurboISO", "CFL-Match"), "enumeration",
+    )
+
+
+def fig10_ordering_time(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 10: query-vertex ordering time (QuickSI's is negligible)."""
+    return _time_sweep_experiment(
+        "fig10", "Against existing algorithms (ordering time)",
+        profile, datasets or ("hprd", "synthetic"),
+        ("TurboISO", "CFL-Match"), "ordering",
+    )
+
+
+def fig11_core_structures(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 11: enumeration time on the core-structures of the queries."""
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    algorithms = ("QuickSI", "TurboISO", "CFL-Match")
+    for dataset in datasets or ("hprd", "synthetic"):
+        data, sets = _all_query_sets(dataset, profile)
+        core_sets: Dict[str, List[Graph]] = {}
+        for set_name, queries in sets.items():
+            cores: List[Graph] = []
+            for query in queries:
+                decomposition = cfl_decompose(query)
+                if len(decomposition.core) < 2:
+                    continue  # tree query: no core-structure to process
+                core_graph, _ = query.induced_subgraph(decomposition.core)
+                if core_graph.is_connected():
+                    cores.append(core_graph)
+            if cores:
+                core_sets[set_name] = cores
+        series = _run_matrix(
+            data, core_sets, algorithms, profile, lambda r: r.avg_enumeration_ms
+        )
+        sections.append(
+            (f"{dataset} (core-structure enumeration time, ms/query)",
+             series_table("query set", list(core_sets), series))
+        )
+        raw[dataset] = {"sets": list(core_sets), "series": series}
+    return ExperimentResult(
+        "fig11", "Enumeration time for core-structures of queries", sections, raw
+    )
+
+
+def fig12_vary_embeddings(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 12: total time when varying #embeddings requested."""
+    limits = [max(profile.limit // 100, 10), max(profile.limit // 10, 10), profile.limit]
+    algorithms = ("QuickSI", "TurboISO", "CFL-Match")
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets or ("hprd", "yeast"):
+        data, sets = _default_query_sets(dataset, profile)
+        series: Dict[str, List[float]] = {name: [] for name in algorithms}
+        for limit in limits:
+            for name in algorithms:
+                matcher = make_matcher(name, data)
+                totals = [
+                    run_query_set(matcher, queries, limit, profile.set_budget_s, sn).avg_total_ms
+                    for sn, queries in sets.items()
+                ]
+                series[name].append(
+                    INF if any(t == INF for t in totals) else sum(totals) / len(totals)
+                )
+        sections.append(
+            (f"{dataset} (total time vs #embeddings, ms/query)",
+             series_table("#embeddings", [str(l) for l in limits], series))
+        )
+        raw[dataset] = {"limits": limits, "series": series}
+    return ExperimentResult("fig12", "Varying #embeddings", sections, raw)
+
+
+def fig13_boost(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 13 (Eval-IV): the data-graph compression boost of [14]."""
+    algorithms = ("CFL-Match", "CFL-Match-Boost")
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets or ("human", "hprd"):
+        data, sets = _default_query_sets(dataset, profile)
+        ratio = compress_data_graph(data).compression_ratio(data)
+        series = _run_matrix(data, sets, algorithms, profile, lambda r: r.avg_total_ms)
+        sections.append(
+            (f"{dataset} (compression ratio {ratio:.0%}; total time, ms/query)",
+             series_table("query set", list(sets), series))
+        )
+        raw[dataset] = {"ratio": ratio, "series": series, "sets": list(sets)}
+    return ExperimentResult("fig13", "Evaluating the boost technique [14]", sections, raw)
+
+
+def fig14_framework(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 14 (Eval-V): Match vs CF-Match vs CFL-Match.
+
+    Two views: enumeration time at 10x the default embedding cap (where
+    core-first pruning separates Match from CF-Match), and counting time
+    (where CFL-Match's leaf label-class/NEC compression skips expanding
+    leaf permutations entirely)."""
+    algorithms = ("Match", "CF-Match", "CFL-Match")
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    enum_limit = profile.limit * 10
+    count_cap = profile.limit * 100
+    for dataset in datasets or ("hprd", "yeast"):
+        data, sets = _largest_query_sets(dataset, profile)
+        series = _run_matrix(
+            data, sets, algorithms, profile, lambda r: r.avg_total_ms, limit=enum_limit
+        )
+        sections.append(
+            (f"{dataset} (total time, ms/query, limit {enum_limit})",
+             series_table("query set", list(sets), series))
+        )
+        count_series: Dict[str, List[float]] = {}
+        for name in algorithms:
+            matcher = make_matcher(name, data)
+            values: List[float] = []
+            for _set_name, queries in sets.items():
+                started = time.perf_counter()
+                for query in queries:
+                    matcher.count(query, limit=count_cap)
+                values.append(1000.0 * (time.perf_counter() - started) / len(queries))
+            count_series[name] = values
+        sections.append(
+            (f"{dataset} (counting time, ms/query, cap {count_cap})",
+             series_table("query set", list(sets), count_series))
+        )
+        raw[dataset] = {
+            "series": series, "count_series": count_series, "sets": list(sets),
+        }
+    return ExperimentResult("fig14", "Evaluating our framework (decomposition ablation)", sections, raw)
+
+
+def fig15_cpi_strategies(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 15 (Eval-VI): naive vs top-down vs refined CPI."""
+    algorithms = ("CFL-Match-Naive", "CFL-Match-TD", "CFL-Match")
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets or ("hprd", "yeast"):
+        data, sets = _default_query_sets(dataset, profile)
+        series = _run_matrix(data, sets, algorithms, profile, lambda r: r.avg_total_ms)
+        sections.append(
+            (f"{dataset} (total time, ms/query)",
+             series_table("query set", list(sets), series))
+        )
+        raw[dataset] = {"series": series, "sets": list(sets)}
+    return ExperimentResult("fig15", "Effectiveness of CPI construction strategies", sections, raw)
+
+
+def fig16_scalability(profile: Profile) -> ExperimentResult:
+    """Figure 16 (Eval-VII): scalability in |V(G)|, d(G), |Sigma|."""
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    size = profile.default_size
+    base = profile.sweep_base_vertices
+
+    def run_on(graphs: Dict[str, Graph], metric: str) -> Dict[str, List[float]]:
+        totals: List[float] = []
+        index_sizes: List[float] = []
+        for graph in graphs.values():
+            sets = {
+                "S": generate_query_set(graph, QuerySetSpec(size, True, profile.queries_per_set), seed=profile.seed),
+                "N": generate_query_set(graph, QuerySetSpec(size, False, profile.queries_per_set), seed=profile.seed),
+            }
+            matcher = make_matcher("CFL-Match", graph)
+            per_set = [
+                run_query_set(matcher, queries, profile.limit, profile.set_budget_s, sn)
+                for sn, queries in sets.items()
+            ]
+            if any(r.avg_total_ms == INF for r in per_set):
+                totals.append(INF)
+            else:
+                totals.append(sum(r.avg_total_ms for r in per_set) / len(per_set))
+            index_sizes.append(sum(r.avg_index_size for r in per_set) / len(per_set))
+        return {"total_ms": totals, "index_size": index_sizes}
+
+    vertex_graphs = synthetic_sweep_vertices(list(profile.sweep_vertices), seed=profile.seed)
+    res = run_on(vertex_graphs, "total")
+    sections.append(("(a) vary |V(G)| (total time, ms/query)",
+                     series_table("|V(G)|", list(vertex_graphs), {"CFL-Match": res["total_ms"]})))
+    raw["vary_vertices"] = {"x": list(vertex_graphs), **res}
+
+    degree_graphs = synthetic_sweep_degree([4, 8, 16, 32], base, seed=profile.seed)
+    res = run_on(degree_graphs, "total")
+    sections.append(("(b) vary d(G) (total time, ms/query)",
+                     series_table("d(G)", list(degree_graphs), {"CFL-Match": res["total_ms"]})))
+    raw["vary_degree"] = {"x": list(degree_graphs), **res}
+
+    label_graphs = synthetic_sweep_labels([25, 50, 100, 200], base, seed=profile.seed)
+    res = run_on(label_graphs, "total")
+    sections.append(("(c) vary |Sigma| (total time, ms/query)",
+                     series_table("|Sigma|", list(label_graphs), {"CFL-Match": res["total_ms"]})))
+    sections.append(("(d) vary |Sigma| (CPI index size, entries)",
+                     series_table("|Sigma|", list(label_graphs),
+                                  {"CPI size": res["index_size"]},
+                                  value_formatter=lambda v: f"{v:.0f}")))
+    raw["vary_labels"] = {"x": list(label_graphs), **res}
+    return ExperimentResult("fig16", "Scalability testing of CFL-Match", sections, raw)
+
+
+def tab04_core_nec(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Table 4: NEC-compressibility of query core-structures."""
+    rows: List[List[str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets or ("hprd", "yeast", "synthetic", "human"):
+        data, sets = _all_query_sets(dataset, profile)
+        del data
+        per_dataset = {}
+        for set_name, queries in sets.items():
+            reductions = []
+            for query in queries:
+                decomposition = cfl_decompose(query)
+                core_graph, _ = query.induced_subgraph(decomposition.core)
+                reductions.append(nec_reduction(core_graph))
+            avg = sum(reductions) / len(reductions)
+            compressed = sum(1 for r in reductions if r > 0)
+            per_dataset[set_name] = (avg, compressed)
+            rows.append([dataset, set_name, f"{avg:.2f}", str(compressed)])
+        raw[dataset] = per_dataset
+    table = format_table(["dataset", "query set", "avg reduced", "#compressed"], rows)
+    return ExperimentResult(
+        "tab04", "NEC compressibility of core-structures (Table 4)",
+        [("avg vertices removed by NEC merging / queries affected", table)], raw,
+    )
+
+
+def fig20_split_vary_embeddings(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 20: ordering/enumeration split while varying #embeddings."""
+    limits = [max(profile.limit // 100, 10), max(profile.limit // 10, 10), profile.limit]
+    algorithms = ("TurboISO", "CFL-Match")
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets or ("hprd",):
+        data, sets = _default_query_sets(dataset, profile)
+        split_series: Dict[str, List[float]] = {}
+        for name in algorithms:
+            matcher = make_matcher(name, data)
+            orderings, enumerations = [], []
+            for limit in limits:
+                per_set = [
+                    run_query_set(matcher, queries, limit, profile.set_budget_s, sn)
+                    for sn, queries in sets.items()
+                ]
+                orderings.append(
+                    INF if any(r.avg_ordering_ms == INF for r in per_set)
+                    else sum(r.avg_ordering_ms for r in per_set) / len(per_set)
+                )
+                enumerations.append(
+                    INF if any(r.avg_enumeration_ms == INF for r in per_set)
+                    else sum(r.avg_enumeration_ms for r in per_set) / len(per_set)
+                )
+            split_series[f"{name} (ordering)"] = orderings
+            split_series[f"{name} (enumeration)"] = enumerations
+        sections.append(
+            (f"{dataset} (ms/query)",
+             series_table("#embeddings", [str(l) for l in limits], split_series))
+        )
+        raw[dataset] = {"limits": limits, "series": split_series}
+    return ExperimentResult(
+        "fig20", "Enumeration/ordering time split vs #embeddings", sections, raw
+    )
+
+
+def fig21_boost_baseline(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 21: TurboISO-Boost against the others on DBLP/WordNet."""
+    algorithms = ("QuickSI", "TurboISO", "TurboISO-Boost", "CFL-Match")
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets or ("wordnet", "dblp"):
+        data, sets = _default_query_sets(dataset, profile)
+        series = _run_matrix(data, sets, algorithms, profile, lambda r: r.avg_total_ms)
+        sections.append(
+            (f"{dataset} (total time, ms/query)",
+             series_table("query set", list(sets), series))
+        )
+        raw[dataset] = {"series": series, "sets": list(sets)}
+    return ExperimentResult("fig21", "TurboISO-Boost on DBLP/WordNet proxies", sections, raw)
+
+
+def fig22_frequent_queries(profile: Profile, datasets: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 22: frequent vs infrequent vs random query classes."""
+    algorithms = ("TurboISO", "CFL-Match")
+    sections: List[Tuple[str, str]] = []
+    raw: Dict[str, object] = {}
+    for dataset in datasets or ("wordnet", "dblp"):
+        data, sets = _default_query_sets(dataset, profile)
+        queries = [q for qs in sets.values() for q in qs]
+        threshold = max(profile.limit // 10, 10)
+        counter = make_matcher("CFL-Match", data)
+        frequent = [q for q in queries if counter.count(q, limit=threshold) >= threshold]
+        infrequent = [q for q in queries if q not in frequent]
+        classes = {"frequent": frequent, "infrequent": infrequent, "random": queries}
+        classes = {k: v for k, v in classes.items() if v}
+        series = _run_matrix(data, classes, algorithms, profile, lambda r: r.avg_total_ms)
+        sections.append(
+            (f"{dataset} (total time, ms/query; threshold {threshold} embeddings)",
+             series_table("query class", list(classes), series))
+        )
+        raw[dataset] = {"classes": {k: len(v) for k, v in classes.items()}, "series": series}
+    return ExperimentResult("fig22", "Frequent vs infrequent queries", sections, raw)
+
+
+#: Experiment registry: id -> callable(profile, **kwargs) -> ExperimentResult
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01_motivating,
+    "fig08": fig08_total_time,
+    "fig09": fig09_enumeration_time,
+    "fig10": fig10_ordering_time,
+    "fig11": fig11_core_structures,
+    "fig12": fig12_vary_embeddings,
+    "fig13": fig13_boost,
+    "fig14": fig14_framework,
+    "fig15": fig15_cpi_strategies,
+    "fig16": fig16_scalability,
+    "tab04": tab04_core_nec,
+    "fig20": fig20_split_vary_embeddings,
+    "fig21": fig21_boost_baseline,
+    "fig22": fig22_frequent_queries,
+}
+
+
+def run_experiment(name: str, profile_name: str = "smoke", **kwargs) -> ExperimentResult:
+    """Run one registered experiment under a named profile."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    if profile_name not in PROFILES:
+        raise KeyError(f"unknown profile {profile_name!r}; choose from {sorted(PROFILES)}")
+    return EXPERIMENTS[name](PROFILES[profile_name], **kwargs)

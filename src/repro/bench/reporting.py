@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results in paper-figure shape.
+
+Each figure of the paper is a grouped bar/line chart; here every chart
+becomes a table whose rows are the x-axis categories (query sets, graph
+sizes, ...) and whose columns are the plotted series (algorithms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .harness import INF, format_ms
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width table with a separator under the header."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    value_formatter=format_ms,
+) -> str:
+    """A chart as a table: one row per x value, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [str(x)]
+        for name in series:
+            values = series[name]
+            row.append(value_formatter(values[i]) if i < len(values) else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def speedup(baseline: float, ours: float) -> str:
+    """Human-readable speedup factor of ``ours`` over ``baseline``."""
+    if baseline == INF and ours == INF:
+        return "-"
+    if baseline == INF:
+        return ">INF"
+    if ours == INF or ours == 0:
+        return "-"
+    return f"{baseline / ours:.1f}x"

@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Examples::
+
+    cfl-match match --data graph.txt --query query.txt --limit 10
+    cfl-match experiment fig08 --profile smoke
+    cfl-match experiment all --profile small --out results/
+    cfl-match datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .bench.experiments import EXPERIMENTS, PROFILES, run_experiment
+from .bench.harness import MATCHERS, make_matcher
+from .core.matcher import CFLMatch
+from .graph.io import load_graph
+from .workloads.datasets import DATASETS, SCALES, dataset_spec
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    data = load_graph(args.data)
+    query = load_graph(args.query)
+    matcher = make_matcher(args.algorithm, data)
+    started = time.perf_counter()
+    count = 0
+    for embedding in matcher.search(query, limit=args.limit):
+        count += 1
+        if not args.quiet:
+            print(" ".join(f"u{u}->v{v}" for u, v in enumerate(embedding)))
+    elapsed = time.perf_counter() - started
+    print(f"# {count} embedding(s) in {1000 * elapsed:.1f} ms [{args.algorithm}]")
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    data = load_graph(args.data)
+    query = load_graph(args.query)
+    matcher = CFLMatch(data)
+    started = time.perf_counter()
+    total = matcher.count(query, limit=args.limit)
+    elapsed = time.perf_counter() - started
+    suffix = "+" if args.limit is not None and total >= args.limit else ""
+    print(f"{total}{suffix} embedding(s) in {1000 * elapsed:.1f} ms")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.explain import explain
+
+    data = load_graph(args.data)
+    query = load_graph(args.query)
+    print(explain(CFLMatch(data), query))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names: List[str] = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, args.profile)
+        elapsed = time.perf_counter() - started
+        rendered = result.render() + f"\n\n[{name} took {elapsed:.1f}s under profile {args.profile}]"
+        print(rendered)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(rendered + "\n")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .core.verify import verification_report, verify_matchers
+    from .workloads.store import load_workload
+
+    data, query_sets = load_workload(args.workload)
+    reference = make_matcher(args.reference, data)
+    candidate = make_matcher(args.candidate, data)
+    all_ok = True
+    for name, queries in sorted(query_sets.items()):
+        diffs = verify_matchers(data, queries, reference, candidate, limit=args.limit)
+        print(f"== {name} ({args.reference} vs {args.candidate}) ==")
+        print(verification_report(diffs))
+        all_ok = all_ok and all(d.ok for d in diffs)
+    return 0 if all_ok else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .workloads.datasets import load_dataset
+    from .workloads.queries import QuerySetSpec, generate_query_set
+    from .workloads.store import save_workload, workload_summary
+
+    data = load_dataset(args.dataset, args.scale, seed=args.seed)
+    query_sets = {}
+    for size in args.query_sizes:
+        for sparse in (True, False):
+            spec = QuerySetSpec(size, sparse=sparse, count=args.count)
+            query_sets[spec.name] = generate_query_set(
+                data, spec, seed=args.seed + size + int(sparse)
+            )
+    save_workload(args.out, data, query_sets)
+    print(f"workload written to {args.out}")
+    print(workload_summary(args.out))
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':<10} {'scale':<7} {'|V|':>8} {'avg deg':>8} {'|Sigma|':>8}")
+    for name in sorted(DATASETS):
+        for scale in ("small", "medium", "full"):
+            spec = dataset_spec(name, scale)
+            print(
+                f"{name:<10} {scale:<7} {spec.num_vertices:>8} "
+                f"{spec.avg_degree:>8.1f} {spec.num_labels:>8}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cfl-match",
+        description="CFL-Match subgraph matching (SIGMOD 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_match = sub.add_parser("match", help="enumerate embeddings of a query in a data graph")
+    p_match.add_argument("--data", required=True, help="data graph file (t/v/e format)")
+    p_match.add_argument("--query", required=True, help="query graph file (t/v/e format)")
+    p_match.add_argument("--limit", type=int, default=None, help="max embeddings to report")
+    p_match.add_argument("--algorithm", default="CFL-Match", choices=sorted(MATCHERS))
+    p_match.add_argument("--quiet", action="store_true", help="print only the summary line")
+    p_match.set_defaults(func=_cmd_match)
+
+    p_count = sub.add_parser("count", help="count embeddings (leaf permutations not expanded)")
+    p_count.add_argument("--data", required=True)
+    p_count.add_argument("--query", required=True)
+    p_count.add_argument("--limit", type=int, default=None)
+    p_count.set_defaults(func=_cmd_count)
+
+    p_explain = sub.add_parser("explain", help="show the matching plan for a query")
+    p_explain.add_argument("--data", required=True)
+    p_explain.add_argument("--query", required=True)
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_exp = sub.add_parser("experiment", help="reproduce a paper figure/table")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    p_exp.add_argument("--profile", default="smoke", choices=sorted(PROFILES))
+    p_exp.add_argument("--out", default=None, help="directory to write result tables")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_verify = sub.add_parser(
+        "verify", help="cross-check two algorithms on a stored workload"
+    )
+    p_verify.add_argument("--workload", required=True, help="workload directory")
+    p_verify.add_argument("--reference", default="CFL-Match", choices=sorted(MATCHERS))
+    p_verify.add_argument("--candidate", default="QuickSI", choices=sorted(MATCHERS))
+    p_verify.add_argument("--limit", type=int, default=None)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_gen = sub.add_parser("generate", help="write a reproducible workload directory")
+    p_gen.add_argument("--dataset", default="yeast", choices=sorted(DATASETS))
+    p_gen.add_argument("--scale", default="small", choices=sorted(SCALES))
+    p_gen.add_argument("--seed", type=int, default=1)
+    p_gen.add_argument("--count", type=int, default=5, help="queries per set")
+    p_gen.add_argument(
+        "--query-sizes", type=int, nargs="+", default=[8, 12],
+        help="|V(q)| values; each yields a sparse and a non-sparse set",
+    )
+    p_gen.add_argument("--out", required=True, help="workload directory")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_ds = sub.add_parser("datasets", help="list dataset proxies and their scales")
+    p_ds.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

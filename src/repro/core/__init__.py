@@ -1,0 +1,104 @@
+"""The paper's contribution: CFL decomposition, CPI, and CFL-Match."""
+
+from .cost_model import CostBreakdown, evaluate_order_cost
+from .core_match import (
+    CPIBacktracker,
+    OrderedVertex,
+    SearchStats,
+    build_ordered_vertices,
+    validate_embedding,
+)
+from .cpi import CPI, QueryBFSTree
+from .cpi_builder import build_cpi, build_naive_cpi
+from .decomposition import CFLDecomposition, ForestTree, cfl_decompose
+from .filters import cand_verify, full_candidate_check, label_degree_ok, mnd_ok, nlf_ok
+from .leaf_match import (
+    LeafNEC,
+    LeafPlan,
+    build_leaf_plan,
+    count_leaf_matches,
+    enumerate_leaf_matches,
+)
+from .explain import estimate_embeddings, explain, render_plan
+from .hierarchy import (
+    forest_independent_set,
+    hierarchical_core_order,
+    hierarchical_shells,
+)
+from .matcher import (
+    CFLMatch,
+    MatchReport,
+    PreparedQuery,
+    count_embeddings,
+    find_embeddings,
+)
+from .nec import nec_classes, nec_reduction
+from .ordering import (
+    estimate_tree_embeddings,
+    order_structure,
+    path_non_tree_weight,
+    path_suffix_counts,
+    subtree_paths,
+    validate_matching_order,
+)
+from .parallel import parallel_count, parallel_search
+from .root_selection import select_root
+from .verify import (
+    EmbeddingSetDiff,
+    diff_embedding_lists,
+    verification_report,
+    verify_matchers,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "evaluate_order_cost",
+    "CPIBacktracker",
+    "OrderedVertex",
+    "SearchStats",
+    "build_ordered_vertices",
+    "validate_embedding",
+    "CPI",
+    "QueryBFSTree",
+    "build_cpi",
+    "build_naive_cpi",
+    "CFLDecomposition",
+    "ForestTree",
+    "cfl_decompose",
+    "cand_verify",
+    "full_candidate_check",
+    "label_degree_ok",
+    "mnd_ok",
+    "nlf_ok",
+    "LeafNEC",
+    "LeafPlan",
+    "build_leaf_plan",
+    "count_leaf_matches",
+    "enumerate_leaf_matches",
+    "estimate_embeddings",
+    "explain",
+    "render_plan",
+    "forest_independent_set",
+    "hierarchical_core_order",
+    "hierarchical_shells",
+    "CFLMatch",
+    "MatchReport",
+    "PreparedQuery",
+    "count_embeddings",
+    "find_embeddings",
+    "nec_classes",
+    "nec_reduction",
+    "estimate_tree_embeddings",
+    "order_structure",
+    "path_non_tree_weight",
+    "path_suffix_counts",
+    "subtree_paths",
+    "validate_matching_order",
+    "parallel_count",
+    "parallel_search",
+    "select_root",
+    "EmbeddingSetDiff",
+    "diff_embedding_lists",
+    "verification_report",
+    "verify_matchers",
+]

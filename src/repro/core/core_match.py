@@ -1,0 +1,208 @@
+"""CPI-based embedding enumeration (Core-Match, Algorithm 5).
+
+:class:`CPIBacktracker` grows a partial embedding along a matching order,
+drawing the candidates of each query vertex from the CPI adjacency list of
+its BFS-tree parent's image and validating backward non-tree edges against
+the data graph (``ValidateNT``).  Forest-Match reuses the same engine with
+non-tree checking disabled — the forest has no non-tree edges, so *the
+data graph is never probed* there (Section 4.3).
+
+The search is non-recursive (explicit iterator stack), as the paper's
+implementation note prescribes, and yields control back each time the
+order is fully mapped so that stages (core -> forest -> leaf) nest as
+generators without materializing intermediate result sets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from ..graph.graph import Graph
+from .cpi import CPI
+
+
+class SearchTimeout(Exception):
+    """Raised inside a search when its deadline is crossed.
+
+    Deadlines are absolute ``time.perf_counter()`` values checked every
+    1024 search nodes, so even a search that never emits an embedding
+    (the paper's "INF" cases) terminates promptly.
+    """
+
+
+@dataclass
+class SearchStats:
+    """Counters shared across the stages of one match run."""
+
+    nodes: int = 0          # candidate vertices tried (partial embeddings)
+    embeddings: int = 0     # full embeddings emitted
+
+    def merged_with(self, other: "SearchStats") -> "SearchStats":
+        return SearchStats(
+            nodes=self.nodes + other.nodes,
+            embeddings=self.embeddings + other.embeddings,
+        )
+
+
+@dataclass(frozen=True)
+class OrderedVertex:
+    """One slot of a matching order.
+
+    ``tree_parent`` is the BFS-tree parent supplying the CPI adjacency
+    list (``None`` only for the very first vertex of the whole search,
+    whose candidates come straight from ``u.C``).  ``backward_neighbors``
+    are the non-tree neighbors already mapped when this slot is reached —
+    the edges ``ValidateNT`` must probe in the data graph.
+    """
+
+    u: int
+    tree_parent: Optional[int]
+    backward_neighbors: tuple = field(default=())
+
+
+def build_ordered_vertices(
+    cpi: CPI,
+    order: Sequence[int],
+    already_mapped: Sequence[int] = (),
+    check_non_tree: bool = True,
+) -> List[OrderedVertex]:
+    """Attach parent / backward-edge metadata to a raw vertex order.
+
+    ``already_mapped`` lists query vertices mapped by earlier stages (the
+    core, when building the forest's order): they count as "before" for
+    backward-edge purposes and make tree parents available.
+    """
+    query = cpi.query
+    tree = cpi.tree
+    placed = set(already_mapped)
+    result: List[OrderedVertex] = []
+    for u in order:
+        parent = tree.parent[u]
+        if parent is not None and parent not in placed:
+            # No anchored adjacency list available: candidates come from
+            # u.C (first vertex of a stage, or a non-BFS order).
+            parent = None
+        backward = ()
+        if check_non_tree:
+            # Every earlier query neighbor must be edge-checked except the
+            # anchor, whose edge is implicit in the CPI adjacency list.
+            # For path-based orders this degenerates to exactly the
+            # backward *non-tree* edges of Algorithm 5; for arbitrary
+            # connected orders (e.g. the hierarchical-core extension) it
+            # also covers tree edges whose parent is mapped later.
+            backward = tuple(
+                w for w in query.neighbors(u) if w in placed and w != parent
+            )
+        result.append(OrderedVertex(u=u, tree_parent=parent, backward_neighbors=backward))
+        placed.add(u)
+    return result
+
+
+class CPIBacktracker:
+    """Iterative backtracking over one stage's matching order."""
+
+    def __init__(
+        self,
+        cpi: CPI,
+        ordered: Sequence[OrderedVertex],
+        stats: Optional[SearchStats] = None,
+        deadline: Optional[float] = None,
+    ):
+        self.cpi = cpi
+        self.ordered = list(ordered)
+        self.stats = stats if stats is not None else SearchStats()
+        self.deadline = deadline
+
+    def extend(self, mapping: List[int], used: bytearray) -> Iterator[None]:
+        """Yield once per complete assignment of this stage's vertices.
+
+        ``mapping`` (query vertex -> data vertex, -1 when unmapped) and
+        ``used`` (data-vertex occupancy) are mutated in place and restored
+        between yields and on exhaustion.  Callers nest stages by looping
+        over ``extend`` generators.
+        """
+        ordered = self.ordered
+        k = len(ordered)
+        if k == 0:
+            yield None
+            return
+        cpi = self.cpi
+        data = cpi.data
+        adj_sets = data._adj_sets  # noqa: SLF001 - hot path, documented internal
+        candidates = cpi.candidates
+        adjacency = cpi.adjacency
+        stats = self.stats
+
+        iterators: List[Optional[Iterator[int]]] = [None] * k
+        iterators[0] = iter(self._slot_candidates(ordered[0], mapping, candidates, adjacency))
+        depth = 0
+        while depth >= 0:
+            slot = ordered[depth]
+            u = slot.u
+            descended = False
+            iterator = iterators[depth]
+            assert iterator is not None
+            for v in iterator:
+                if used[v]:
+                    continue
+                ok = True
+                for w in slot.backward_neighbors:
+                    if mapping[w] not in adj_sets[v]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                stats.nodes += 1
+                if (
+                    self.deadline is not None
+                    and (stats.nodes & 1023) == 0
+                    and time.perf_counter() > self.deadline
+                ):
+                    raise SearchTimeout
+                mapping[u] = v
+                used[v] = 1
+                if depth == k - 1:
+                    yield None
+                    used[v] = 0
+                    mapping[u] = -1
+                    continue
+                depth += 1
+                iterators[depth] = iter(
+                    self._slot_candidates(ordered[depth], mapping, candidates, adjacency)
+                )
+                descended = True
+                break
+            if descended:
+                continue
+            depth -= 1
+            if depth >= 0:
+                u = ordered[depth].u
+                v = mapping[u]
+                used[v] = 0
+                mapping[u] = -1
+
+    @staticmethod
+    def _slot_candidates(slot, mapping, candidates, adjacency):
+        if slot.tree_parent is None:
+            return candidates[slot.u]
+        parent_image = mapping[slot.tree_parent]
+        return adjacency[slot.u].get(parent_image, ())
+
+
+def validate_embedding(query: Graph, data: Graph, mapping: Sequence[int]) -> bool:
+    """Full correctness check of an embedding (used by tests/examples):
+    injective, label-preserving, and edge-preserving."""
+    images = [mapping[u] for u in query.vertices()]
+    if len(set(images)) != len(images):
+        return False
+    if any(v < 0 or v >= data.num_vertices for v in images):
+        return False
+    for u in query.vertices():
+        if query.label(u) != data.label(mapping[u]):
+            return False
+    for u, w in query.edges():
+        if not data.has_edge(mapping[u], mapping[w]):
+            return False
+    return True

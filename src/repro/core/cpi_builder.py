@@ -1,0 +1,228 @@
+"""CPI construction (Section 5): top-down build + bottom-up refinement.
+
+Minimizing a sound CPI is NP-hard (Lemma 4.1), so the paper constructs a
+*small and sound* CPI heuristically in two ``O(|E(G)| x |E(q)|)`` phases:
+
+* **Top-down construction** (Algorithm 3) visits query vertices
+  level-by-level.  For every level it (1) generates candidates forward
+  using all *visited* neighbors — the BFS parent, upper-level C-NTE
+  neighbors and already-processed same-level S-NTE neighbors; (2) prunes
+  backward using the *unvisited* S-NTE neighbors; (3) materializes the
+  adjacency lists of the level's tree edges.
+* **Bottom-up refinement** (Algorithm 4) walks the levels bottom-up,
+  pruning every ``u.C`` against its lower-level neighbors (tree children
+  and downward C-NTEs) and then shrinking adjacency lists to the refined
+  candidate sets.
+
+Together, both directions of every query edge are exploited for pruning
+(Table 2).  The *naive* builder of Section 4.1 (label-only candidates) is
+also provided — it backs the ``CFL-Match-Naive`` variant of Figure 15.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..graph.graph import Graph
+from .cpi import CPI, QueryBFSTree
+from .filters import cand_verify
+
+VerifyFn = Callable[[Graph, Graph, int, int], bool]
+
+
+def build_cpi(
+    query: Graph,
+    data: Graph,
+    root: int,
+    refine: bool = True,
+    verify: Optional[VerifyFn] = cand_verify,
+) -> CPI:
+    """Build a small, sound CPI for ``query`` over ``data``.
+
+    ``refine=False`` stops after the top-down phase (the ``CFL-Match-TD``
+    variant); ``verify=None`` disables the CandVerify MND/NLF filtering.
+    """
+    tree = QueryBFSTree.build(query, root)
+    cpi = _top_down_construct(tree, data, verify)
+    if refine:
+        _bottom_up_refine(cpi)
+    return cpi
+
+
+def build_naive_cpi(query: Graph, data: Graph, root: int) -> CPI:
+    """Section 4.1's naive sound CPI: ``u.C`` = all vertices labeled l(u)."""
+    tree = QueryBFSTree.build(query, root)
+    candidates = [list(data.vertices_with_label(query.label(u))) for u in query.vertices()]
+    cand_sets = [set(c) for c in candidates]
+    adjacency: List[Dict[int, List[int]]] = [dict() for _ in query.vertices()]
+    for u in query.vertices():
+        parent = tree.parent[u]
+        if parent is None:
+            continue
+        u_set = cand_sets[u]
+        table = adjacency[u]
+        for v_p in candidates[parent]:
+            row = [v for v in data.neighbors(v_p) if v in u_set]
+            if row:
+                table[v_p] = row
+    return CPI(tree, data, candidates, adjacency)
+
+
+# ----------------------------------------------------------------------
+# Top-down construction (Algorithm 3)
+# ----------------------------------------------------------------------
+def _top_down_construct(tree: QueryBFSTree, data: Graph, verify: Optional[VerifyFn]) -> CPI:
+    query = tree.query
+    n_q = query.num_vertices
+    root = tree.root
+
+    candidates: List[List[int]] = [[] for _ in range(n_q)]
+    adjacency: List[Dict[int, List[int]]] = [dict() for _ in range(n_q)]
+
+    # Lines 1-2: root candidates by label + degree + CandVerify.
+    root_label = query.label(root)
+    root_degree = query.degree(root)
+    root_cands = [
+        v
+        for v in data.vertices_with_label(root_label)
+        if data.degree(v) >= root_degree
+        and (verify is None or verify(query, data, root, v))
+    ]
+    candidates[root] = root_cands
+
+    visited = [False] * n_q
+    visited[root] = True
+    cnt = [0] * data.num_vertices
+    unvisited_same_level: List[List[int]] = [[] for _ in range(n_q)]
+
+    for level_vertices in tree.levels[1:]:
+        # ---- Forward candidate generation (Lines 5-17) ----
+        for u in level_vertices:
+            total, touched = 0, []
+            for u_prime in query.neighbors(u):
+                if not visited[u_prime] and tree.level[u_prime] == tree.level[u]:
+                    unvisited_same_level[u].append(u_prime)
+                elif visited[u_prime]:
+                    _accumulate(query, data, u, candidates[u_prime], cnt, touched, total)
+                    total += 1
+            u_cands = [
+                v
+                for v in touched
+                if cnt[v] == total and (verify is None or verify(query, data, u, v))
+            ]
+            u_cands.sort()
+            candidates[u] = u_cands
+            visited[u] = True
+            for v in touched:
+                cnt[v] = 0
+
+        # ---- Backward candidate pruning (Lines 18-23) ----
+        for u in reversed(level_vertices):
+            pending = unvisited_same_level[u]
+            if not pending:
+                continue
+            total, touched = 0, []
+            for u_prime in pending:
+                _accumulate(query, data, u, candidates[u_prime], cnt, touched, total)
+                total += 1
+            candidates[u] = [v for v in candidates[u] if cnt[v] == total]
+            for v in touched:
+                cnt[v] = 0
+
+        # ---- Adjacency list construction (Lines 24-28) ----
+        for u in level_vertices:
+            u_parent = tree.parent[u]
+            assert u_parent is not None
+            u_label = query.label(u)
+            u_set = set(candidates[u])
+            table = adjacency[u]
+            for v_p in candidates[u_parent]:
+                row = [
+                    v
+                    for v in data.neighbors(v_p)
+                    if data.label(v) == u_label and v in u_set
+                ]
+                if row:
+                    table[v_p] = row
+    return CPI(tree, data, candidates, adjacency)
+
+
+def _accumulate(
+    query: Graph,
+    data: Graph,
+    u: int,
+    neighbor_candidates: List[int],
+    cnt: List[int],
+    touched: List[int],
+    expected: int,
+) -> None:
+    """Lines 11-13 of Algorithm 3: bump ``cnt`` of label/degree-feasible
+    data neighbors of every candidate of a query neighbor of ``u``.
+
+    ``cnt[v]`` is incremented at most once per query neighbor because the
+    bump is gated on ``cnt[v] == expected`` (the neighbors already seen).
+    """
+    u_label = query.label(u)
+    u_degree = query.degree(u)
+    data_adj = data.adj
+    data_labels = data.labels
+    for v_prime in neighbor_candidates:
+        for v in data_adj[v_prime]:
+            if data_labels[v] != u_label or len(data_adj[v]) < u_degree:
+                continue
+            if cnt[v] == expected:
+                if expected == 0:
+                    touched.append(v)
+                cnt[v] = expected + 1
+
+
+# ----------------------------------------------------------------------
+# Bottom-up refinement (Algorithm 4)
+# ----------------------------------------------------------------------
+def _bottom_up_refine(cpi: CPI) -> None:
+    tree = cpi.tree
+    query = tree.query
+    data = cpi.data
+    cnt = [0] * data.num_vertices
+
+    for level_vertices in reversed(tree.levels):
+        for u in level_vertices:
+            lower = [
+                u_prime
+                for u_prime in query.neighbors(u)
+                if tree.level[u_prime] > tree.level[u]
+            ]
+            # ---- Candidate refinement (Lines 2-7) ----
+            if lower:
+                total, touched = 0, []
+                for u_prime in lower:
+                    _accumulate(query, data, u, cpi.candidates[u_prime], cnt, touched, total)
+                    total += 1
+                kept, dropped = [], []
+                for v in cpi.candidates[u]:
+                    if cnt[v] == total:
+                        kept.append(v)
+                    else:
+                        dropped.append(v)
+                if dropped:
+                    cpi.candidates[u] = kept
+                    cpi.cand_sets[u] = set(kept)
+                    for child in tree.children[u]:
+                        child_table = cpi.adjacency[child]
+                        for v in dropped:
+                            child_table.pop(v, None)
+                for v in touched:
+                    cnt[v] = 0
+            # ---- Adjacency list pruning (Lines 8-11) ----
+            for child in tree.children[u]:
+                child_set = cpi.cand_sets[child]
+                child_table = cpi.adjacency[child]
+                for v in cpi.candidates[u]:
+                    row = child_table.get(v)
+                    if row is None:
+                        continue
+                    pruned = [v_prime for v_prime in row if v_prime in child_set]
+                    if pruned:
+                        child_table[v] = pruned
+                    else:
+                        del child_table[v]

@@ -1,0 +1,91 @@
+"""Offset-based CPI storage (Section A.2).
+
+The paper stores each candidate set as an array and replaces the vertex
+ids inside adjacency lists by *positions* (offsets) into the child's
+candidate array, so CPI traversal follows offsets instead of hashing.
+:class:`CompiledCPI` is that representation: per tree edge ``(u.p, u)``
+the adjacency lists of all parent candidates are concatenated into one
+flat position array with a CSR-style index.
+
+The dict-based :class:`~repro.core.cpi.CPI` stays the mutable build-time
+structure (Algorithms 3/4 prune in place); compiling is a cheap final
+pass for read-mostly workloads and gives an honest size-in-integers
+accounting of the index (Figure 16(d)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .cpi import CPI
+
+
+class CompiledCPI:
+    """Immutable, offset-addressed view of a CPI."""
+
+    __slots__ = ("root", "parent", "candidates", "row_index", "row_data")
+
+    def __init__(
+        self,
+        root: int,
+        parent: Sequence,
+        candidates: List[List[int]],
+        row_index: List[List[int]],
+        row_data: List[List[int]],
+    ):
+        self.root = root
+        self.parent = list(parent)
+        self.candidates = candidates          # candidates[u][pos] = data vertex
+        # CSR per non-root u: row_index[u] has len(candidates[u.p]) + 1
+        # entries; row_data[u][row_index[u][i]:row_index[u][i+1]] are the
+        # *positions* (into candidates[u]) adjacent to u.p's i-th candidate.
+        self.row_index = row_index
+        self.row_data = row_data
+
+    @classmethod
+    def from_cpi(cls, cpi: CPI) -> "CompiledCPI":
+        """Compile the dict-based CPI into flat offset arrays."""
+        n = cpi.query.num_vertices
+        candidates = [list(c) for c in cpi.candidates]
+        position: List[Dict[int, int]] = [
+            {v: i for i, v in enumerate(c)} for c in candidates
+        ]
+        row_index: List[List[int]] = [[] for _ in range(n)]
+        row_data: List[List[int]] = [[] for _ in range(n)]
+        for u in range(n):
+            p = cpi.tree.parent[u]
+            if p is None:
+                continue
+            table = cpi.adjacency[u]
+            pos_u = position[u]
+            index = [0]
+            data: List[int] = []
+            for v_p in candidates[p]:
+                for v in table.get(v_p, ()):
+                    data.append(pos_u[v])
+                index.append(len(data))
+            row_index[u] = index
+            row_data[u] = data
+        return cls(cpi.root, cpi.tree.parent, candidates, row_index, row_data)
+
+    def vertex_at(self, u: int, pos: int) -> int:
+        """Data vertex stored at position ``pos`` of ``u``'s candidates."""
+        return self.candidates[u][pos]
+
+    def child_positions(self, u: int, parent_pos: int) -> List[int]:
+        """Positions of u-candidates adjacent to u.p's ``parent_pos``-th
+        candidate — ``N_u^{u.p}`` addressed purely by offsets."""
+        index = self.row_index[u]
+        return self.row_data[u][index[parent_pos]:index[parent_pos + 1]]
+
+    def child_vertices(self, u: int, parent_pos: int) -> List[int]:
+        """Data vertices of :meth:`child_positions` (test/debug helper)."""
+        cand = self.candidates[u]
+        return [cand[pos] for pos in self.child_positions(u, parent_pos)]
+
+    def size_in_integers(self) -> int:
+        """Total index size counted in stored integers."""
+        total = sum(len(c) for c in self.candidates)
+        total += sum(len(ix) for ix in self.row_index)
+        total += sum(len(d) for d in self.row_data)
+        return total

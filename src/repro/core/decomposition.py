@@ -1,0 +1,154 @@
+"""Core-Forest-Leaf (CFL) decomposition of a query graph (Section 3).
+
+The decomposition splits ``V(q)`` into three disjoint sets:
+
+* **core-set** ``V_C`` — the 2-core of ``q`` (Lemma 3.1), the minimal
+  connected subgraph containing every non-tree edge of any spanning tree;
+* **leaf-set** ``V_I`` — degree-one vertices of the forest obtained by
+  rooting each forest tree at its connection vertex (equivalently, the
+  degree-one vertices of ``q`` outside the core, Section A.5);
+* **forest-set** ``V_T`` — everything else.
+
+When the query is itself a tree the 2-core is empty and, per the paper,
+the core-set degenerates to a single root vertex chosen by the root
+selection heuristic of Section A.6 (injected by the caller through
+``tree_root``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from ..graph.graph import Graph, GraphError
+from ..graph.kcore import two_core_vertices
+
+
+@dataclass(frozen=True)
+class ForestTree:
+    """One connected tree of the forest-structure.
+
+    ``connection`` is the unique vertex shared with the core-structure
+    (the tree's root); ``vertices`` lists all other tree vertices in BFS
+    order from the connection vertex; ``parent`` gives, for each vertex of
+    the query, its tree parent (only meaningful for ``vertices``).
+    """
+
+    connection: int
+    vertices: List[int]
+    parent: List[int] = field(repr=False)
+
+
+@dataclass(frozen=True)
+class CFLDecomposition:
+    """Result of the core-forest-leaf decomposition of a query ``q``."""
+
+    core: List[int]
+    forest: List[int]
+    leaves: List[int]
+    trees: List[ForestTree]
+    is_tree_query: bool
+
+    @property
+    def core_set(self) -> Set[int]:
+        return set(self.core)
+
+    @property
+    def forest_set(self) -> Set[int]:
+        return set(self.forest)
+
+    @property
+    def leaf_set(self) -> Set[int]:
+        return set(self.leaves)
+
+
+def cfl_decompose(
+    query: Graph,
+    tree_root: Optional[int] = None,
+    root_chooser: Optional[Callable[[Graph], int]] = None,
+) -> CFLDecomposition:
+    """Compute the CFL decomposition of a connected query graph.
+
+    Parameters
+    ----------
+    query:
+        connected query graph.
+    tree_root:
+        explicit core vertex for tree queries (whose 2-core is empty);
+        ignored when the query has a non-empty 2-core.
+    root_chooser:
+        fallback used to pick the degenerate core vertex of a tree query
+        when ``tree_root`` is not given; defaults to the maximum-degree
+        vertex (the full CandVerify-based selection of Section A.6 lives in
+        :mod:`repro.core.root_selection` and is passed in by the matcher).
+    """
+    if query.num_vertices == 0:
+        raise GraphError("cannot decompose an empty query")
+    if not query.is_connected():
+        raise GraphError("the paper assumes a connected query graph")
+
+    core = two_core_vertices(query)
+    is_tree_query = not core
+    if is_tree_query:
+        if tree_root is not None:
+            root = tree_root
+        elif root_chooser is not None:
+            root = root_chooser(query)
+        else:
+            root = max(query.vertices(), key=query.degree)
+        core = [root]
+    core_set = set(core)
+
+    trees = _forest_trees(query, core_set)
+    leaves: List[int] = []
+    forest: List[int] = []
+    for tree in trees:
+        for v in tree.vertices:
+            if query.degree(v) == 1:
+                leaves.append(v)
+            else:
+                forest.append(v)
+    return CFLDecomposition(
+        core=sorted(core_set),
+        forest=sorted(forest),
+        leaves=sorted(leaves),
+        trees=trees,
+        is_tree_query=is_tree_query,
+    )
+
+
+def _forest_trees(query: Graph, core_set: Set[int]) -> List[ForestTree]:
+    """BFS out of every connection vertex to collect the forest trees.
+
+    Each connected tree of the forest-structure shares exactly one vertex
+    (its *connection vertex*) with the core-structure (Section 3).
+    """
+    n = query.num_vertices
+    parent = [-1] * n
+    seen = [False] * n
+    for v in core_set:
+        seen[v] = True
+    trees: List[ForestTree] = []
+    for connection in sorted(core_set):
+        tree_vertices: List[int] = []
+        queue = [
+            w for w in query.neighbors(connection) if not seen[w]
+        ]
+        for w in queue:
+            seen[w] = True
+            parent[w] = connection
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            tree_vertices.append(u)
+            for w in query.neighbors(u):
+                if not seen[w]:
+                    seen[w] = True
+                    parent[w] = u
+                    queue.append(w)
+        if tree_vertices:
+            trees.append(
+                ForestTree(connection=connection, vertices=tree_vertices, parent=parent)
+            )
+    return trees

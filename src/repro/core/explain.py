@@ -1,0 +1,92 @@
+"""Query-plan inspection: an EXPLAIN for subgraph matching.
+
+Renders everything CFL-Match decides before enumeration — the CFL
+decomposition, the chosen BFS root, per-vertex CPI candidate counts, the
+matching order with the stage each vertex belongs to, and the leaf plan —
+plus the CPI-based cardinality estimate.  Useful for understanding *why*
+a query is fast or slow without reading counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graph.graph import Graph
+from .cpi import CPI
+from .matcher import CFLMatch, PreparedQuery
+from .ordering import estimate_tree_embeddings
+
+
+def estimate_embeddings(cpi: CPI) -> int:
+    """CPI-tree cardinality estimate for the whole query.
+
+    Counts the embeddings of the BFS *tree* inside the CPI (the Section
+    4.2.1 dynamic program extended to trees), ignoring non-tree edges and
+    injectivity.  Since every true embedding of ``q`` is in particular a
+    tree embedding surviving the (sound) CPI, the estimate is an upper
+    bound on the exact number of embeddings.
+    """
+    return estimate_tree_embeddings(
+        cpi, cpi.root, set(cpi.query.vertices())
+    )
+
+
+def explain(matcher: CFLMatch, query: Graph) -> str:
+    """Human-readable matching plan for ``query`` on the matcher's data."""
+    prepared = matcher.prepare(query)
+    return render_plan(prepared, matcher)
+
+
+def render_plan(prepared: PreparedQuery, matcher: CFLMatch) -> str:
+    """Render a PreparedQuery the way EXPLAIN output reads."""
+    query = prepared.query
+    cpi = prepared.cpi
+    decomposition = prepared.decomposition
+    stage_of: Dict[int, str] = {}
+    for u in decomposition.core:
+        stage_of[u] = "core"
+    for u in decomposition.forest:
+        stage_of[u] = "forest"
+    for u in decomposition.leaves:
+        stage_of[u] = "leaf"
+
+    lines: List[str] = []
+    lines.append(
+        f"CFL-Match plan (mode={matcher.mode}, cpi={matcher.cpi_mode}, "
+        f"core_strategy={matcher.core_strategy})"
+    )
+    lines.append(
+        f"query: |V|={query.num_vertices} |E|={query.num_edges}; "
+        f"data: |V|={matcher.data.num_vertices} |E|={matcher.data.num_edges}"
+    )
+    lines.append(
+        f"decomposition: core={decomposition.core} forest={decomposition.forest} "
+        f"leaves={decomposition.leaves}"
+        + (" (tree query)" if decomposition.is_tree_query else "")
+    )
+    lines.append(f"BFS root: u{prepared.root}")
+    lines.append(f"CPI size: {cpi.size()} entries; per-vertex candidates:")
+    for u in query.vertices():
+        lines.append(
+            f"  u{u} (label {query.label(u)}, {stage_of.get(u, '?'):>6}): "
+            f"|C| = {len(cpi.candidates[u])}"
+        )
+    order_render = []
+    for u in prepared.core_order:
+        order_render.append(f"u{u}[core]")
+    for u in prepared.forest_order:
+        order_render.append(f"u{u}[forest]")
+    lines.append("matching order: " + " -> ".join(order_render))
+    if prepared.leaf_plan.classes:
+        lines.append("leaf plan (label classes, matched last):")
+        for cls in prepared.leaf_plan.classes:
+            necs = ", ".join(
+                f"NEC(parent=u{nec.parent}, members={list(nec.members)})"
+                for nec in cls
+            )
+            label = prepared.query.label(cls[0].members[0])
+            lines.append(f"  label {label}: {necs}")
+    else:
+        lines.append("leaf plan: (no leaves)")
+    lines.append(f"estimated embeddings (CPI tree bound): {estimate_embeddings(cpi)}")
+    return "\n".join(lines)

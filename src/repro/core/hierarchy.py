@@ -1,0 +1,103 @@
+"""Extensions beyond the paper's main algorithm.
+
+Two pieces of the paper's margins are implemented here:
+
+* **Forest-IS decomposition** (Section A.5): the leaf-set generalizes to
+  an independent set of the forest-structure; the complement is a
+  Connected Minimum Vertex Cover (cMVC) of each forest tree that must
+  contain the connection vertex.  For trees the cMVC is simply the
+  degree->=2 vertices plus the connection vertex, which proves the
+  leaf-set is the *maximum* usable independent set —
+  :func:`forest_independent_set` computes both sides so the equality is
+  testable.
+
+* **Hierarchical core decomposition** (Section 7, future work): instead
+  of treating the whole 2-core uniformly, peel it into k-core shells and
+  match denser shells first.  :func:`hierarchical_shells` computes the
+  shell partition and :func:`hierarchical_core_order` produces a
+  connected matching order of the core that visits vertices in
+  non-increasing shell depth, breaking ties by CPI candidate counts.
+  ``CFLMatch(data, core_strategy="hierarchical")`` activates it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..graph.graph import Graph, GraphError
+from ..graph.kcore import core_numbers
+from .cpi import CPI
+from .decomposition import CFLDecomposition
+
+
+def forest_independent_set(
+    query: Graph, decomposition: CFLDecomposition
+) -> Tuple[List[int], List[int]]:
+    """Section A.5: (cMVC vertices, independent set) of the forest.
+
+    The cMVC of a forest tree rooted at its connection vertex is the set
+    of its degree->=2 vertices plus the connection vertex; the independent
+    set is everything else — exactly the degree-one vertices, i.e. the
+    leaf-set ``V_I``.
+    """
+    cover: List[int] = []
+    independent: List[int] = []
+    for tree in decomposition.trees:
+        cover.append(tree.connection)
+        for v in tree.vertices:
+            if query.degree(v) >= 2:
+                cover.append(v)
+            else:
+                independent.append(v)
+    return sorted(set(cover)), sorted(independent)
+
+
+def hierarchical_shells(query: Graph, core_vertices: List[int]) -> Dict[int, List[int]]:
+    """Partition the core into k-core shells: k -> vertices of coreness k.
+
+    Coreness is computed on the whole query (the core is its 2-core, so
+    every returned key is >= 2 unless the core is a degenerate single
+    root of a tree query, which lands in its true shell).
+    """
+    numbers = core_numbers(query)
+    shells: Dict[int, List[int]] = {}
+    for v in core_vertices:
+        shells.setdefault(numbers[v], []).append(v)
+    return shells
+
+
+def hierarchical_core_order(
+    cpi: CPI, core_vertices: List[int], root: int
+) -> List[int]:
+    """A connected core order preferring deeper k-core shells.
+
+    Starting from ``root``, repeatedly append the frontier vertex with
+    (1) the highest coreness, (2) the most already-ordered neighbors
+    (earlier pruning), and (3) the fewest CPI candidates.  The result is
+    a valid connected matching order of the core-set.
+    """
+    query = cpi.query
+    core_set: Set[int] = set(core_vertices)
+    if root not in core_set:
+        raise GraphError("root must belong to the core-set")
+    numbers = core_numbers(query)
+    order = [root]
+    ordered: Set[int] = {root}
+    while len(order) < len(core_set):
+        frontier = {
+            w
+            for u in order
+            for w in query.neighbors(u)
+            if w in core_set and w not in ordered
+        }
+        if not frontier:
+            raise GraphError("core-structure must be connected")
+
+        def priority(w: int) -> Tuple:
+            placed_neighbors = sum(1 for x in query.neighbors(w) if x in ordered)
+            return (-numbers[w], -placed_neighbors, len(cpi.candidates[w]), w)
+
+        best = min(frontier, key=priority)
+        order.append(best)
+        ordered.add(best)
+    return order

@@ -1,0 +1,188 @@
+"""Leaf-Match (Section 4.4): enumerate leaf-vertex mappings last.
+
+Given an embedding of the core-set and forest-set, each leaf ``u`` draws
+its candidates ``C(u) = N_u^{u.p}(M(u.p)) \\ (M_C u M_T)`` from the CPI.
+Leaves are partitioned into *label classes* (Lemma 4.3 guarantees classes
+have disjoint candidates, so classes combine by Cartesian product) and
+within a class into *NECs* — leaves with the same label and the same
+parent, which share one candidate set.
+
+Counting treats an NEC of size m as a combination (multiplying by ``m!``)
+instead of enumerating permutations, which is the paper's on-the-fly
+compression of redundant leaf Cartesian products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, permutations
+from math import factorial
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .core_match import SearchStats
+from .cpi import CPI
+
+
+@dataclass(frozen=True)
+class LeafNEC:
+    """Neighborhood equivalence class of leaves: same label, same parent."""
+
+    parent: int
+    members: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LeafPlan:
+    """Query-only leaf structure, computed once per query.
+
+    ``classes[i]`` holds the NECs of one label class; class order is by
+    label for determinism.
+    """
+
+    classes: Tuple[Tuple[LeafNEC, ...], ...]
+    leaf_vertices: Tuple[int, ...]
+
+
+def build_leaf_plan(cpi: CPI, leaves: Sequence[int]) -> LeafPlan:
+    """Group leaves into label classes and NECs (Section 4.4)."""
+    query = cpi.query
+    tree = cpi.tree
+    by_label: Dict[int, Dict[int, List[int]]] = {}
+    for u in sorted(leaves):
+        parent = tree.parent[u]
+        assert parent is not None, "a leaf always has a BFS-tree parent"
+        by_label.setdefault(query.label(u), {}).setdefault(parent, []).append(u)
+    classes = tuple(
+        tuple(
+            LeafNEC(parent=parent, members=tuple(members))
+            for parent, members in sorted(parents.items())
+        )
+        for _, parents in sorted(by_label.items())
+    )
+    return LeafPlan(classes=classes, leaf_vertices=tuple(sorted(leaves)))
+
+
+def _nec_candidates(
+    cpi: CPI, nec: LeafNEC, mapping: List[int], used: bytearray
+) -> List[int]:
+    """``C(u)`` for an NEC: parent's CPI adjacency list minus used vertices."""
+    parent_image = mapping[nec.parent]
+    row = cpi.adjacency[nec.members[0]].get(parent_image, ())
+    return [v for v in row if not used[v]]
+
+
+def _prepared_classes(
+    cpi: CPI, plan: LeafPlan, mapping: List[int], used: bytearray
+) -> Optional[List[List[Tuple[LeafNEC, List[int]]]]]:
+    """Candidate lists per NEC, sorted by size within each class.
+
+    Returns ``None`` when some NEC cannot possibly be filled, letting
+    callers fail fast before any enumeration.
+    """
+    prepared: List[List[Tuple[LeafNEC, List[int]]]] = []
+    for cls in plan.classes:
+        rows: List[Tuple[LeafNEC, List[int]]] = []
+        for nec in cls:
+            candidates = _nec_candidates(cpi, nec, mapping, used)
+            if len(candidates) < len(nec.members):
+                return None
+            rows.append((nec, candidates))
+        rows.sort(key=lambda item: len(item[1]))
+        prepared.append(rows)
+    return prepared
+
+
+def enumerate_leaf_matches(
+    cpi: CPI,
+    plan: LeafPlan,
+    mapping: List[int],
+    used: bytearray,
+    stats: Optional[SearchStats] = None,
+) -> Iterator[None]:
+    """Yield once per complete leaf assignment, mutating ``mapping``.
+
+    State is restored between yields; classes nest as a Cartesian product
+    and NEC assignments expand combinations into permutations.
+    """
+    if not plan.classes:
+        yield None
+        return
+    prepared = _prepared_classes(cpi, plan, mapping, used)
+    if prepared is None:
+        return
+
+    def assign_class(class_idx: int, nec_idx: int) -> Iterator[None]:
+        if class_idx == len(prepared):
+            yield None
+            return
+        rows = prepared[class_idx]
+        if nec_idx == len(rows):
+            yield from assign_class(class_idx + 1, 0)
+            return
+        nec, candidates = rows[nec_idx]
+        members = nec.members
+        available = [v for v in candidates if not used[v]]
+        if len(available) < len(members):
+            return
+        for images in permutations(available, len(members)):
+            for u, v in zip(members, images):
+                mapping[u] = v
+                used[v] = 1
+            if stats is not None:
+                stats.nodes += len(members)
+            yield from assign_class(class_idx, nec_idx + 1)
+            for u, v in zip(members, images):
+                mapping[u] = -1
+                used[v] = 0
+
+    yield from assign_class(0, 0)
+
+
+def count_leaf_matches(
+    cpi: CPI,
+    plan: LeafPlan,
+    mapping: List[int],
+    used: bytearray,
+    cap: Optional[int] = None,
+) -> int:
+    """Number of leaf assignments without enumerating permutations.
+
+    Per class, NEC combinations are explored with backtracking and each
+    NEC of size m contributes a factor ``m!``; classes multiply (Lemma
+    4.3).  ``cap`` allows early exit once the count can only exceed it.
+    """
+    if not plan.classes:
+        return 1
+    prepared = _prepared_classes(cpi, plan, mapping, used)
+    if prepared is None:
+        return 0
+
+    def count_class(rows: List[Tuple[LeafNEC, List[int]]], idx: int) -> int:
+        if idx == len(rows):
+            return 1
+        nec, candidates = rows[idx]
+        m = len(nec.members)
+        available = [v for v in candidates if not used[v]]
+        if len(available) < m:
+            return 0
+        perms = factorial(m)
+        total = 0
+        for combo in combinations(available, m):
+            for v in combo:
+                used[v] = 1
+            total += perms * count_class(rows, idx + 1)
+            for v in combo:
+                used[v] = 0
+            if cap is not None and total >= cap:
+                break
+        return total
+
+    product = 1
+    for rows in prepared:
+        class_count = count_class(rows, 0)
+        if class_count == 0:
+            return 0
+        product *= class_count
+        if cap is not None and product >= cap:
+            return product
+    return product

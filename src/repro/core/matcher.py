@@ -1,0 +1,410 @@
+"""CFL-Match and its ablation variants (Algorithm 1 and Section 6 list).
+
+:class:`CFLMatch` is the paper's best algorithm: CFL-decompose the query,
+build the CPI (top-down + bottom-up), order core paths by Algorithm 2,
+then enumerate Core-Match -> Forest-Match -> Leaf-Match.  The evaluated
+variants map to constructor flags:
+
+================  =========================================
+Paper name        Construction
+================  =========================================
+CFL-Match         ``CFLMatch(data)``
+CF-Match          ``CFLMatch(data, mode="cf")``
+Match             ``CFLMatch(data, mode="match")``
+CFL-Match-TD      ``CFLMatch(data, cpi_mode="td")``
+CFL-Match-Naive   ``CFLMatch(data, cpi_mode="naive")``
+================  =========================================
+
+(The boosted variant lives in :mod:`repro.baselines.compression`.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..graph.graph import Graph, GraphError
+from .core_match import (
+    CPIBacktracker,
+    OrderedVertex,
+    SearchStats,
+    SearchTimeout,
+    build_ordered_vertices,
+)
+from .cpi import CPI
+from .cpi_builder import build_cpi, build_naive_cpi
+from .decomposition import CFLDecomposition, cfl_decompose
+from .leaf_match import LeafPlan, build_leaf_plan, count_leaf_matches, enumerate_leaf_matches
+from .ordering import estimate_tree_embeddings, order_structure
+from .root_selection import select_root
+
+MODES = ("cfl", "cf", "match")
+CPI_MODES = ("full", "td", "naive")
+CORE_STRATEGIES = ("paths", "hierarchical")
+CPI_IMPLS = ("python", "numpy")
+
+
+@dataclass
+class PreparedQuery:
+    """Everything computed before enumeration starts (the paper's
+    "query vertex ordering" phase: decomposition + CPI + matching order)."""
+
+    query: Graph
+    decomposition: CFLDecomposition
+    root: int
+    cpi: CPI
+    core_order: List[int]
+    forest_order: List[int]
+    core_slots: List[OrderedVertex]
+    forest_slots: List[OrderedVertex]
+    leaf_plan: LeafPlan
+    ordering_time: float
+
+    @property
+    def matching_order(self) -> List[int]:
+        """Core then forest order (leaves are matched per label class)."""
+        return self.core_order + self.forest_order
+
+
+@dataclass
+class MatchReport:
+    """Measured outcome of one ``run`` (the quantities Figures 8-16 plot)."""
+
+    embeddings: int
+    ordering_time: float
+    enumeration_time: float
+    cpi_size: int
+    candidate_counts: List[int]
+    stats: SearchStats = field(default_factory=SearchStats)
+    timed_out: bool = False
+    results: Optional[List[Tuple[int, ...]]] = None
+    # per-stage search-node counters (core/forest/leaf), for analysis
+    stage_nodes: Optional[dict] = None
+
+    @property
+    def total_time(self) -> float:
+        return self.ordering_time + self.enumeration_time
+
+
+class CFLMatch:
+    """Subgraph matching over a fixed data graph.
+
+    Parameters
+    ----------
+    data:
+        the data graph G.
+    mode:
+        ``"cfl"`` (core/forest/leaf), ``"cf"`` (no leaf split) or
+        ``"match"`` (no decomposition at all).
+    cpi_mode:
+        ``"full"`` (Algorithms 3+4), ``"td"`` (Algorithm 3 only) or
+        ``"naive"`` (label-only candidate sets, Section 4.1).
+    core_strategy:
+        ``"paths"`` (Algorithm 2, the paper's ordering) or
+        ``"hierarchical"`` (the Section 7 future-work extension: match
+        deeper k-core shells of the core first).
+    cpi_impl:
+        ``"python"`` (reference implementation) or ``"numpy"``
+        (vectorized builder; identical output, faster on medium graphs).
+    """
+
+    name = "CFL-Match"
+
+    def __init__(
+        self,
+        data: Graph,
+        mode: str = "cfl",
+        cpi_mode: str = "full",
+        core_strategy: str = "paths",
+        cpi_impl: str = "python",
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if cpi_mode not in CPI_MODES:
+            raise ValueError(f"cpi_mode must be one of {CPI_MODES}")
+        if core_strategy not in CORE_STRATEGIES:
+            raise ValueError(f"core_strategy must be one of {CORE_STRATEGIES}")
+        if cpi_impl not in CPI_IMPLS:
+            raise ValueError(f"cpi_impl must be one of {CPI_IMPLS}")
+        self.data = data
+        self.mode = mode
+        self.cpi_mode = cpi_mode
+        self.core_strategy = core_strategy
+        self.cpi_impl = cpi_impl
+
+    # ------------------------------------------------------------------
+    # Preparation (ordering phase)
+    # ------------------------------------------------------------------
+    def prepare(self, query: Graph) -> PreparedQuery:
+        """Decompose, build the CPI and compute the matching order."""
+        if query.num_vertices == 0:
+            raise GraphError("empty query")
+        started = time.perf_counter()
+        decomposition = cfl_decompose(
+            query,
+            root_chooser=lambda q: select_root(q, self.data),
+        )
+        if self.mode == "match":
+            # No decomposition: the whole query is matched like a core.
+            root = select_root(query, self.data)
+        else:
+            root = select_root(query, self.data, eligible=decomposition.core)
+        cpi = self._build_cpi(query, root)
+
+        core_set: Set[int]
+        if self.mode == "match":
+            core_set = set(query.vertices())
+        else:
+            core_set = decomposition.core_set
+        if self.core_strategy == "hierarchical" and self.mode != "match":
+            from .hierarchy import hierarchical_core_order
+
+            core_order = hierarchical_core_order(cpi, sorted(core_set), root)
+        else:
+            core_order = order_structure(cpi, root, core_set, use_non_tree_discount=True)
+
+        forest_order: List[int] = []
+        leaf_vertices: List[int] = []
+        if self.mode != "match":
+            leaf_vertices = decomposition.leaves if self.mode == "cfl" else []
+            forest_order = self._forest_order(cpi, decomposition, set(leaf_vertices))
+
+        core_slots = build_ordered_vertices(cpi, core_order, check_non_tree=True)
+        forest_slots = build_ordered_vertices(
+            cpi, forest_order, already_mapped=core_order, check_non_tree=False
+        )
+        leaf_plan = build_leaf_plan(cpi, leaf_vertices)
+        ordering_time = time.perf_counter() - started
+        return PreparedQuery(
+            query=query,
+            decomposition=decomposition,
+            root=root,
+            cpi=cpi,
+            core_order=core_order,
+            forest_order=forest_order,
+            core_slots=core_slots,
+            forest_slots=forest_slots,
+            leaf_plan=leaf_plan,
+            ordering_time=ordering_time,
+        )
+
+    def _build_cpi(self, query: Graph, root: int) -> CPI:
+        if self.cpi_mode == "naive":
+            return build_naive_cpi(query, self.data, root)
+        refine = self.cpi_mode == "full"
+        if self.cpi_impl == "numpy":
+            from .cpi_builder_numpy import build_cpi_numpy
+
+            return build_cpi_numpy(query, self.data, root, refine=refine)
+        return build_cpi(query, self.data, root, refine=refine)
+
+    def _forest_order(
+        self,
+        cpi: CPI,
+        decomposition: CFLDecomposition,
+        leaf_set: Set[int],
+    ) -> List[int]:
+        """Order the forest trees by estimated embeddings, then order each
+        tree's paths with Algorithm 2 (Section 4.3)."""
+        plans = []
+        for tree in decomposition.trees:
+            allowed = {tree.connection} | {
+                v for v in tree.vertices if v not in leaf_set
+            }
+            if len(allowed) == 1:
+                continue  # the tree is all leaves; Leaf-Match covers it
+            estimate = estimate_tree_embeddings(cpi, tree.connection, allowed)
+            plans.append((estimate, tree.connection, allowed))
+        plans.sort(key=lambda item: (item[0], item[1]))
+        order: List[int] = []
+        for _, connection, allowed in plans:
+            tree_order = order_structure(
+                cpi, connection, allowed, use_non_tree_discount=False
+            )
+            order.extend(tree_order[1:])  # drop the connection vertex
+        return order
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
+        stats: Optional[SearchStats] = None,
+        deadline: Optional[float] = None,
+        stage_stats: Optional[dict] = None,
+        root_candidates: Optional[List[int]] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily yield embeddings (tuples mapping query vertex -> data
+        vertex) until exhaustion or ``limit``.
+
+        ``deadline`` (absolute ``perf_counter`` time) raises
+        :class:`SearchTimeout` mid-search when crossed.  Passing a dict
+        as ``stage_stats`` fills it with per-stage ``SearchStats`` under
+        the keys ``"core"``, ``"forest"`` and ``"leaf"``.
+        ``root_candidates`` restricts the first matching-order vertex to
+        that candidate subset — the partitioning hook used by
+        :mod:`repro.core.parallel` (each embedding maps the root to
+        exactly one candidate, so restrictions partition the result set).
+        """
+        if limit is not None and limit <= 0:
+            return
+        plan = prepared if prepared is not None else self.prepare(query)
+        if plan.cpi.is_empty():
+            return
+        if root_candidates is not None:
+            allowed = set(plan.cpi.candidates[plan.root])
+            filtered = [v for v in root_candidates if v in allowed]
+            if not filtered:
+                return
+            plan = self._with_root_candidates(plan, filtered)
+        stats = stats if stats is not None else SearchStats()
+        if stage_stats is not None:
+            core_stats = stage_stats.setdefault("core", SearchStats())
+            forest_stats = stage_stats.setdefault("forest", SearchStats())
+            leaf_stats = stage_stats.setdefault("leaf", SearchStats())
+        else:
+            core_stats = forest_stats = leaf_stats = stats
+        mapping = [-1] * query.num_vertices
+        used = bytearray(self.data.num_vertices)
+        core_bt = CPIBacktracker(plan.cpi, plan.core_slots, core_stats, deadline=deadline)
+        forest_bt = CPIBacktracker(plan.cpi, plan.forest_slots, forest_stats, deadline=deadline)
+        emitted = 0
+        for _ in core_bt.extend(mapping, used):
+            for _ in forest_bt.extend(mapping, used):
+                for _ in enumerate_leaf_matches(
+                    plan.cpi, plan.leaf_plan, mapping, used, leaf_stats
+                ):
+                    stats.embeddings += 1
+                    emitted += 1
+                    yield tuple(mapping)
+                    if limit is not None and emitted >= limit:
+                        return
+
+    def _with_root_candidates(
+        self, plan: PreparedQuery, filtered: List[int]
+    ) -> PreparedQuery:
+        """Shallow plan copy whose root candidate set is ``filtered``.
+
+        Adjacency lists are shared (the root has no incoming tree edge),
+        so this is cheap; matching orders stay valid since they do not
+        depend on the root's candidate list contents.
+        """
+        from .cpi import CPI as _CPI
+
+        new_candidates = list(plan.cpi.candidates)
+        new_candidates[plan.root] = sorted(filtered)
+        restricted = _CPI(plan.cpi.tree, plan.cpi.data, new_candidates, plan.cpi.adjacency)
+        return PreparedQuery(
+            query=plan.query,
+            decomposition=plan.decomposition,
+            root=plan.root,
+            cpi=restricted,
+            core_order=plan.core_order,
+            forest_order=plan.forest_order,
+            core_slots=plan.core_slots,
+            forest_slots=plan.forest_slots,
+            leaf_plan=plan.leaf_plan,
+            ordering_time=plan.ordering_time,
+        )
+
+    def count(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
+        root_candidates: Optional[List[int]] = None,
+    ) -> int:
+        """Count embeddings without expanding leaf NEC permutations.
+
+        With ``limit`` the count stops growing once it reaches the limit
+        (mirroring "report the first k embeddings"); the exact total may
+        be larger.  ``root_candidates`` restricts the root as in
+        :meth:`search`.
+        """
+        plan = prepared if prepared is not None else self.prepare(query)
+        if plan.cpi.is_empty():
+            return 0
+        if root_candidates is not None:
+            allowed = set(plan.cpi.candidates[plan.root])
+            filtered = [v for v in root_candidates if v in allowed]
+            if not filtered:
+                return 0
+            plan = self._with_root_candidates(plan, filtered)
+        stats = SearchStats()
+        mapping = [-1] * query.num_vertices
+        used = bytearray(self.data.num_vertices)
+        core_bt = CPIBacktracker(plan.cpi, plan.core_slots, stats)
+        forest_bt = CPIBacktracker(plan.cpi, plan.forest_slots, stats)
+        total = 0
+        for _ in core_bt.extend(mapping, used):
+            for _ in forest_bt.extend(mapping, used):
+                cap = None if limit is None else limit - total
+                total += count_leaf_matches(
+                    plan.cpi, plan.leaf_plan, mapping, used, cap=cap
+                )
+                if limit is not None and total >= limit:
+                    return limit
+        return total
+
+    def run(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        collect: bool = False,
+        deadline: Optional[float] = None,
+    ) -> MatchReport:
+        """Prepare + enumerate with timing, the benchmark entry point.
+
+        ``deadline`` is an absolute ``time.perf_counter()`` timestamp; the
+        run stops (``timed_out=True``) when enumeration crosses it.
+        """
+        prepared = self.prepare(query)
+        stats = SearchStats()
+        stage_stats: dict = {}
+        results: Optional[List[Tuple[int, ...]]] = [] if collect else None
+        timed_out = False
+        started = time.perf_counter()
+        found = 0
+        try:
+            for embedding in self.search(
+                query, limit=limit, prepared=prepared, stats=stats,
+                deadline=deadline, stage_stats=stage_stats,
+            ):
+                found += 1
+                if collect and results is not None:
+                    results.append(embedding)
+                if deadline is not None and found % 256 == 0:
+                    if time.perf_counter() > deadline:
+                        timed_out = True
+                        break
+        except SearchTimeout:
+            timed_out = True
+        enumeration_time = time.perf_counter() - started
+        stats.nodes = sum(s.nodes for s in stage_stats.values())
+        return MatchReport(
+            embeddings=found,
+            ordering_time=prepared.ordering_time,
+            enumeration_time=enumeration_time,
+            cpi_size=prepared.cpi.size(),
+            candidate_counts=prepared.cpi.candidate_counts(),
+            stats=stats,
+            timed_out=timed_out,
+            results=results,
+            stage_nodes={name: s.nodes for name, s in stage_stats.items()},
+        )
+
+
+def find_embeddings(
+    query: Graph, data: Graph, limit: Optional[int] = None
+) -> List[Tuple[int, ...]]:
+    """One-shot convenience: all (or first ``limit``) embeddings of q in G."""
+    return list(CFLMatch(data).search(query, limit=limit))
+
+
+def count_embeddings(query: Graph, data: Graph, limit: Optional[int] = None) -> int:
+    """One-shot convenience: number of embeddings of q in G."""
+    return CFLMatch(data).count(query, limit=limit)

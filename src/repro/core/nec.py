@@ -1,0 +1,67 @@
+"""Neighborhood Equivalence Classes (NEC) of query vertices.
+
+Two vertices are NEC-equivalent (the TurboISO [8] query-compression
+relation) when they carry the same label and have *the same neighborhood*:
+either identical neighbor sets (non-adjacent pair) or identical closed
+neighborhoods (adjacent pair).  The paper uses NECs in three places we
+reproduce:
+
+* Leaf-Match merges same-parent leaves (handled in
+  :mod:`repro.core.leaf_match`);
+* Table 4 measures how little the *core-structure* can be compressed,
+  justifying CFL-Match's choice to skip query compression (Section 4.2
+  Remark and Lemma 4.2);
+* the TurboISO baseline rewrites the query into an NEC tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..graph.graph import Graph
+
+
+def nec_classes(graph: Graph, vertices: Optional[Iterable[int]] = None) -> List[List[int]]:
+    """Partition ``vertices`` (default: all) into NEC classes.
+
+    Open-neighborhood groups capture non-adjacent equivalent vertices,
+    closed-neighborhood groups capture adjacent (clique-like) ones; a
+    vertex joins whichever non-trivial group claims it first (the two
+    relations cannot both hold for the same pair).
+    """
+    pool = list(vertices) if vertices is not None else list(graph.vertices())
+    pool_set = set(pool)
+
+    open_groups: Dict[Tuple, List[int]] = {}
+    closed_groups: Dict[Tuple, List[int]] = {}
+    for v in sorted(pool):
+        label = graph.label(v)
+        nbrs = frozenset(graph.neighbors(v))
+        open_groups.setdefault((label, nbrs), []).append(v)
+        closed_groups.setdefault((label, frozenset(nbrs | {v})), []).append(v)
+
+    assigned: Dict[int, int] = {}
+    classes: List[List[int]] = []
+    for groups in (open_groups, closed_groups):
+        for members in groups.values():
+            free = [v for v in members if v not in assigned and v in pool_set]
+            if len(free) >= 2:
+                index = len(classes)
+                classes.append(free)
+                for v in free:
+                    assigned[v] = index
+    for v in sorted(pool):
+        if v not in assigned:
+            assigned[v] = len(classes)
+            classes.append([v])
+    classes.sort(key=lambda cls: cls[0])
+    return classes
+
+
+def nec_reduction(graph: Graph, vertices: Optional[Iterable[int]] = None) -> int:
+    """Number of vertices removed by merging each NEC to one representative.
+
+    This is the per-query quantity averaged in the paper's Table 4.
+    """
+    classes = nec_classes(graph, vertices)
+    return sum(len(cls) - 1 for cls in classes)

@@ -1,0 +1,183 @@
+"""CPI-based matching-order selection (Section 4.2.1, Algorithm 2).
+
+The matching order is *path based*: the root-to-leaf paths of the BFS tree
+are ordered greedily to minimize the approximate cost
+``T~_iso = sum_i B_{l_i}`` (the search breadths at path leaves), and the
+vertex order is obtained by concatenating each path's suffix after its
+connection vertex.
+
+Path cardinalities ``c(pi)`` are estimated *exactly within the CPI* by the
+bottom-up dynamic program of Section 4.2.1: ``c_u(v) = sum_{v' in
+N_{u'}^u(v)} c_{u'}(v')`` along the path, in time linear in the adjacency
+lists of the path's tree edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..graph.graph import GraphError
+from .cpi import CPI
+
+
+def subtree_paths(cpi: CPI, start: int, allowed: Set[int]) -> List[List[int]]:
+    """All start-to-leaf paths of the BFS tree restricted to ``allowed``.
+
+    ``start`` must be in ``allowed``; children outside ``allowed`` are
+    pruned.  A childless ``start`` yields the single path ``[start]``.
+    """
+    if start not in allowed:
+        raise GraphError("start vertex must be inside the allowed set")
+    children = cpi.tree.children
+    paths: List[List[int]] = []
+    stack = [(start, [start])]
+    while stack:
+        v, path = stack.pop()
+        kept = [c for c in children[v] if c in allowed]
+        if not kept:
+            paths.append(path)
+            continue
+        for c in reversed(kept):
+            stack.append((c, path + [c]))
+    paths.sort()
+    return paths
+
+
+def path_suffix_counts(cpi: CPI, path: Sequence[int]) -> List[int]:
+    """``c(pi^{u_i})`` for every suffix of ``path`` (Section 4.2.1 DP).
+
+    Index ``i`` of the result is the estimated number of CPI embeddings of
+    the suffix of ``path`` starting at ``path[i]``.  Position 0 is the full
+    ``c(pi)``.
+    """
+    counts: List[int] = [0] * len(path)
+    last = path[-1]
+    per_vertex: Dict[int, int] = {v: 1 for v in cpi.candidates[last]}
+    counts[-1] = len(per_vertex)
+    for i in range(len(path) - 2, -1, -1):
+        u = path[i]
+        child = path[i + 1]
+        child_table = cpi.adjacency[child]
+        new_counts: Dict[int, int] = {}
+        total = 0
+        for v in cpi.candidates[u]:
+            row = child_table.get(v)
+            if not row:
+                continue
+            value = 0
+            for v_prime in row:
+                value += per_vertex.get(v_prime, 0)
+            if value:
+                new_counts[v] = value
+                total += value
+        per_vertex = new_counts
+        counts[i] = total
+    return counts
+
+
+def path_non_tree_weight(cpi: CPI, path: Sequence[int]) -> int:
+    """``|NT(pi)|``: total non-tree edges incident to the path's vertices."""
+    non_tree = cpi.tree.non_tree_neighbors
+    return sum(len(non_tree[u]) for u in path)
+
+
+def order_structure(
+    cpi: CPI,
+    start: int,
+    allowed: Set[int],
+    use_non_tree_discount: bool = True,
+) -> List[int]:
+    """Algorithm 2: greedy path ordering of the subtree rooted at ``start``.
+
+    Returns the matching order of the structure's vertices, beginning with
+    ``start``.  ``use_non_tree_discount`` applies the ``c(pi)/|NT(pi)|``
+    first-path rule (the forest has no non-tree edges, so forest callers
+    disable it — the divisor degenerates to 1 anyway).
+    """
+    paths = subtree_paths(cpi, start, allowed)
+    suffix_counts = [path_suffix_counts(cpi, p) for p in paths]
+
+    def first_key(i: int) -> tuple:
+        weight = path_non_tree_weight(cpi, paths[i]) if use_non_tree_discount else 1
+        return (suffix_counts[i][0] / max(weight, 1), i)
+
+    remaining = set(range(len(paths)))
+    first = min(remaining, key=first_key)
+    order: List[int] = list(paths[first])
+    in_order: Set[int] = set(order)
+    remaining.discard(first)
+
+    while remaining:
+        def extension_key(i: int) -> tuple:
+            path = paths[i]
+            # Paths share a contiguous prefix with the chosen sequence, so
+            # the connection vertex pi.p is the deepest prefix vertex.
+            j = 0
+            while j + 1 < len(path) and path[j + 1] in in_order:
+                j += 1
+            connection = path[j]
+            denom = max(len(cpi.candidates[connection]), 1)
+            return (suffix_counts[i][j] / denom, i)
+
+        best = min(remaining, key=extension_key)
+        remaining.discard(best)
+        for v in paths[best]:
+            if v not in in_order:
+                order.append(v)
+                in_order.add(v)
+    return order
+
+
+def estimate_tree_embeddings(cpi: CPI, start: int, allowed: Set[int]) -> int:
+    """Estimated number of CPI embeddings of the subtree at ``start``.
+
+    Generalizes the path DP to trees: ``c_u(v)`` multiplies, over the
+    children of ``u``, the summed counts of ``v``'s adjacency list.  Used
+    to order the connected trees of the forest (Section 4.3).
+    """
+    children = cpi.tree.children
+
+    def vertex_counts(u: int) -> Dict[int, int]:
+        kept_children = [c for c in children[u] if c in allowed]
+        if not kept_children:
+            return {v: 1 for v in cpi.candidates[u]}
+        child_counts = [(c, vertex_counts(c)) for c in kept_children]
+        result: Dict[int, int] = {}
+        for v in cpi.candidates[u]:
+            product = 1
+            for child, counts in child_counts:
+                row = cpi.adjacency[child].get(v)
+                if not row:
+                    product = 0
+                    break
+                product *= sum(counts.get(v_prime, 0) for v_prime in row)
+                if product == 0:
+                    break
+            if product:
+                result[v] = product
+        return result
+
+    return sum(vertex_counts(start).values())
+
+
+def validate_matching_order(
+    order: Sequence[int],
+    parent: Sequence[Optional[int]],
+    required: Optional[Iterable[int]] = None,
+) -> None:
+    """Sanity-check an order: no duplicates, BFS parents precede children.
+
+    Raises ``GraphError`` on violation; used by tests and debug assertions.
+    """
+    seen: Set[int] = set()
+    for u in order:
+        if u in seen:
+            raise GraphError(f"vertex {u} appears twice in the matching order")
+        p = parent[u]
+        if p is not None and p not in seen and p in set(order):
+            raise GraphError(f"parent {p} of {u} does not precede it")
+        seen.add(u)
+    if required is not None:
+        missing = set(required) - seen
+        if missing:
+            raise GraphError(f"matching order misses vertices {sorted(missing)}")

@@ -1,0 +1,127 @@
+"""Parallel subgraph matching over root-candidate partitions.
+
+Backtracking search parallelizes naturally at the top of the tree: each
+embedding maps the matching order's first vertex (the BFS root) to
+exactly one of its candidates, so partitioning the root candidate set
+partitions the embedding set.  Workers each rebuild the (cheap,
+polynomial) CPI for their own restriction and run the normal pipeline;
+results are merged by summation / concatenation.
+
+Uses fork-based ``multiprocessing`` so the data graph is inherited
+copy-on-write rather than pickled per task.  For small instances the
+process overhead dominates — this is a throughput tool for large data
+graphs and exhaustive (uncapped) enumeration or counting.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Tuple
+
+from ..graph.graph import Graph
+from .matcher import CFLMatch
+
+# Worker globals installed by the pool initializer (fork-inherited).
+_WORKER_MATCHER: Optional[CFLMatch] = None
+_WORKER_QUERY: Optional[Graph] = None
+
+
+def _init_worker(data: Graph, query: Graph, matcher_kwargs: dict) -> None:
+    global _WORKER_MATCHER, _WORKER_QUERY
+    _WORKER_MATCHER = CFLMatch(data, **matcher_kwargs)
+    _WORKER_QUERY = query
+
+
+def _count_chunk(args: Tuple[List[int], Optional[int]]) -> int:
+    chunk, limit = args
+    assert _WORKER_MATCHER is not None and _WORKER_QUERY is not None
+    return _WORKER_MATCHER.count(_WORKER_QUERY, limit=limit, root_candidates=chunk)
+
+
+def _search_chunk(args: Tuple[List[int], Optional[int]]) -> List[Tuple[int, ...]]:
+    chunk, limit = args
+    assert _WORKER_MATCHER is not None and _WORKER_QUERY is not None
+    return list(
+        _WORKER_MATCHER.search(_WORKER_QUERY, limit=limit, root_candidates=chunk)
+    )
+
+
+def _chunks(items: List[int], pieces: int) -> List[List[int]]:
+    """Split ``items`` into at most ``pieces`` round-robin chunks.
+
+    Round-robin balances skewed candidate costs better than contiguous
+    slicing (candidates are sorted by vertex id, which often correlates
+    with degree in generated graphs).
+    """
+    pieces = max(1, min(pieces, len(items)))
+    buckets: List[List[int]] = [[] for _ in range(pieces)]
+    for index, item in enumerate(items):
+        buckets[index % pieces].append(item)
+    return [bucket for bucket in buckets if bucket]
+
+
+def _root_candidates(matcher: CFLMatch, query: Graph) -> List[int]:
+    prepared = matcher.prepare(query)
+    return list(prepared.cpi.candidates[prepared.root])
+
+
+def parallel_count(
+    data: Graph,
+    query: Graph,
+    workers: int = 2,
+    limit: Optional[int] = None,
+    tasks_per_worker: int = 4,
+    **matcher_kwargs,
+) -> int:
+    """Count embeddings of ``query`` in ``data`` across ``workers``
+    processes.  Equals ``CFLMatch(data).count(query)`` (without ``limit``;
+    with a limit the result saturates at it)."""
+    matcher = CFLMatch(data, **matcher_kwargs)
+    roots = _root_candidates(matcher, query)
+    if not roots:
+        return 0
+    if workers <= 1 or len(roots) == 1:
+        return matcher.count(query, limit=limit)
+    chunks = _chunks(roots, workers * tasks_per_worker)
+    context = multiprocessing.get_context("fork")
+    with context.Pool(
+        workers, initializer=_init_worker, initargs=(data, query, matcher_kwargs)
+    ) as pool:
+        partials = pool.map(_count_chunk, [(chunk, limit) for chunk in chunks])
+    total = sum(partials)
+    if limit is not None:
+        return min(total, limit)
+    return total
+
+
+def parallel_search(
+    data: Graph,
+    query: Graph,
+    workers: int = 2,
+    limit: Optional[int] = None,
+    tasks_per_worker: int = 4,
+    **matcher_kwargs,
+) -> List[Tuple[int, ...]]:
+    """All (or first ``limit``) embeddings, computed in parallel.
+
+    The embedding *set* equals the sequential one; ordering follows the
+    root-candidate partition, not the sequential enumeration order.
+    """
+    matcher = CFLMatch(data, **matcher_kwargs)
+    roots = _root_candidates(matcher, query)
+    if not roots:
+        return []
+    if workers <= 1 or len(roots) == 1:
+        return list(matcher.search(query, limit=limit))
+    chunks = _chunks(roots, workers * tasks_per_worker)
+    context = multiprocessing.get_context("fork")
+    with context.Pool(
+        workers, initializer=_init_worker, initargs=(data, query, matcher_kwargs)
+    ) as pool:
+        partials = pool.map(_search_chunk, [(chunk, limit) for chunk in chunks])
+    results: List[Tuple[int, ...]] = []
+    for part in partials:
+        results.extend(part)
+        if limit is not None and len(results) >= limit:
+            return results[:limit]
+    return results

@@ -1,0 +1,64 @@
+"""BFS-root selection for the CPI (Section A.6).
+
+The root is drawn from the core-set (it is the first vertex of the
+matching order) and should have few candidates but high degree.  Following
+the paper: first rank every eligible vertex by ``|C(u)| / d(u)`` using the
+light-weight label+degree candidate count, keep the top 3, then recompute
+``C(u)`` for those with the full CandVerify filter and pick the minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..graph.graph import Graph, GraphError
+from .filters import cand_verify
+
+
+def _light_candidate_count(query: Graph, data: Graph, u: int) -> int:
+    """|C(u)| using only the label and degree filters."""
+    u_degree = query.degree(u)
+    return sum(
+        1
+        for v in data.vertices_with_label(query.label(u))
+        if data.degree(v) >= u_degree
+    )
+
+
+def _verified_candidate_count(query: Graph, data: Graph, u: int) -> int:
+    """|C(u)| after the full CandVerify (MND + NLF) filtering."""
+    u_degree = query.degree(u)
+    return sum(
+        1
+        for v in data.vertices_with_label(query.label(u))
+        if data.degree(v) >= u_degree and cand_verify(query, data, u, v)
+    )
+
+
+def select_root(
+    query: Graph,
+    data: Graph,
+    eligible: Optional[Iterable[int]] = None,
+    top_k: int = 3,
+) -> int:
+    """Pick the BFS root as ``arg min |C(u)| / d(u)`` (Section A.6).
+
+    ``eligible`` restricts the pool (the CFL framework passes the
+    core-set); by default all query vertices compete.
+    """
+    pool: List[int] = list(eligible) if eligible is not None else list(query.vertices())
+    if not pool:
+        raise GraphError("root selection needs at least one eligible vertex")
+
+    def light_ratio(u: int) -> float:
+        return _light_candidate_count(query, data, u) / max(query.degree(u), 1)
+
+    pool.sort(key=lambda u: (light_ratio(u), u))
+    shortlist = pool[: max(top_k, 1)]
+    if len(shortlist) == 1:
+        return shortlist[0]
+
+    def verified_ratio(u: int) -> float:
+        return _verified_candidate_count(query, data, u) / max(query.degree(u), 1)
+
+    return min(shortlist, key=lambda u: (verified_ratio(u), u))

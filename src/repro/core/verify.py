@@ -1,0 +1,142 @@
+"""Result verification: detailed cross-checking of matcher outputs.
+
+Production regression tooling: compare two algorithms on the same
+workload and report, per query, whether the embedding sets are identical
+— and when they are not, *why* (missing, extra, structurally invalid, or
+duplicated embeddings).  Used by the test suite and the ``cfl-match
+verify`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .core_match import validate_embedding
+
+
+@dataclass
+class EmbeddingSetDiff:
+    """Outcome of comparing one query's results across two matchers."""
+
+    query_index: int
+    reference_count: int
+    candidate_count: int
+    missing: List[Tuple[int, ...]] = field(default_factory=list)
+    extra: List[Tuple[int, ...]] = field(default_factory=list)
+    invalid_reference: List[Tuple[int, ...]] = field(default_factory=list)
+    invalid_candidate: List[Tuple[int, ...]] = field(default_factory=list)
+    duplicates_reference: int = 0
+    duplicates_candidate: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.missing
+            and not self.extra
+            and not self.invalid_reference
+            and not self.invalid_candidate
+            and self.duplicates_reference == 0
+            and self.duplicates_candidate == 0
+        )
+
+    def describe(self, max_items: int = 3) -> str:
+        if self.ok:
+            return (
+                f"query {self.query_index}: OK "
+                f"({self.reference_count} embeddings)"
+            )
+        parts = [f"query {self.query_index}: MISMATCH"]
+        if self.missing:
+            parts.append(f"  missing from candidate: {self.missing[:max_items]}")
+        if self.extra:
+            parts.append(f"  extra in candidate: {self.extra[:max_items]}")
+        if self.invalid_reference:
+            parts.append(f"  invalid reference output: {self.invalid_reference[:max_items]}")
+        if self.invalid_candidate:
+            parts.append(f"  invalid candidate output: {self.invalid_candidate[:max_items]}")
+        if self.duplicates_reference:
+            parts.append(f"  reference emitted {self.duplicates_reference} duplicates")
+        if self.duplicates_candidate:
+            parts.append(f"  candidate emitted {self.duplicates_candidate} duplicates")
+        return "\n".join(parts)
+
+
+def diff_embedding_lists(
+    query: Graph,
+    data: Graph,
+    reference: Sequence[Tuple[int, ...]],
+    candidate: Sequence[Tuple[int, ...]],
+    query_index: int = 0,
+) -> EmbeddingSetDiff:
+    """Structural diff of two embedding lists for the same query."""
+    ref_set = set(reference)
+    cand_set = set(candidate)
+    return EmbeddingSetDiff(
+        query_index=query_index,
+        reference_count=len(reference),
+        candidate_count=len(candidate),
+        missing=sorted(ref_set - cand_set)[:10],
+        extra=sorted(cand_set - ref_set)[:10],
+        invalid_reference=[
+            e for e in sorted(ref_set) if not validate_embedding(query, data, e)
+        ][:10],
+        invalid_candidate=[
+            e for e in sorted(cand_set) if not validate_embedding(query, data, e)
+        ][:10],
+        duplicates_reference=len(reference) - len(ref_set),
+        duplicates_candidate=len(candidate) - len(cand_set),
+    )
+
+
+def verify_matchers(
+    data: Graph,
+    queries: Sequence[Graph],
+    reference_matcher,
+    candidate_matcher,
+    limit: Optional[int] = None,
+) -> List[EmbeddingSetDiff]:
+    """Run both matchers on every query and diff their outputs.
+
+    With ``limit`` set, only the *sets of the first k embeddings* are
+    compared for feasibility (different matchers may legally emit a
+    different first-k subset), so the diff then checks validity and
+    duplicates only, plus count agreement when both found fewer than k.
+    """
+    diffs: List[EmbeddingSetDiff] = []
+    for index, query in enumerate(queries):
+        reference = list(reference_matcher.search(query, limit=limit))
+        candidate = list(candidate_matcher.search(query, limit=limit))
+        if limit is not None and (
+            len(reference) >= limit or len(candidate) >= limit
+        ):
+            # truncated enumerations are only checked for internal validity
+            diff = EmbeddingSetDiff(
+                query_index=index,
+                reference_count=len(reference),
+                candidate_count=len(candidate),
+                invalid_reference=[
+                    e for e in reference if not validate_embedding(query, data, e)
+                ][:10],
+                invalid_candidate=[
+                    e for e in candidate if not validate_embedding(query, data, e)
+                ][:10],
+                duplicates_reference=len(reference) - len(set(reference)),
+                duplicates_candidate=len(candidate) - len(set(candidate)),
+            )
+        else:
+            diff = diff_embedding_lists(query, data, reference, candidate, index)
+        diffs.append(diff)
+    return diffs
+
+
+def verification_report(diffs: Sequence[EmbeddingSetDiff]) -> str:
+    """Render a verification run: per-query lines + summary."""
+    lines = [diff.describe() for diff in diffs]
+    failures = sum(1 for diff in diffs if not diff.ok)
+    lines.append(
+        f"summary: {len(diffs) - failures}/{len(diffs)} queries agree"
+        + ("" if failures == 0 else f"; {failures} MISMATCH(ES)")
+    )
+    return "\n".join(lines)

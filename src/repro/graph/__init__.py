@@ -1,0 +1,73 @@
+"""Graph substrate: labeled graphs, k-core, generators, and I/O."""
+
+from .bipartite import (
+    has_saturating_matching,
+    maximum_bipartite_matching,
+    semiperfect_matching_exists,
+)
+from .directed import (
+    DiGraph,
+    match_directed,
+    reduce_directed_pair,
+    validate_directed_embedding,
+)
+from .edge_labeled import (
+    EdgeLabeledGraph,
+    match_edge_labeled,
+    reduce_pair,
+    subdivide,
+    validate_edge_labeled_embedding,
+)
+from .graph import Graph, GraphError, graph_from_edge_list
+from .kcore import core_numbers, k_core_vertices, two_core_vertices
+from .generators import (
+    power_law_labels,
+    random_connected_graph,
+    random_spanning_tree_edges,
+    random_walk_query,
+    relabel,
+    synthetic_graph,
+)
+from .io import (
+    LabelMap,
+    dumps_edge_list,
+    dumps_graph,
+    load_graph,
+    loads_edge_list,
+    loads_graph,
+    save_graph,
+)
+
+__all__ = [
+    "has_saturating_matching",
+    "maximum_bipartite_matching",
+    "semiperfect_matching_exists",
+    "DiGraph",
+    "match_directed",
+    "reduce_directed_pair",
+    "validate_directed_embedding",
+    "EdgeLabeledGraph",
+    "match_edge_labeled",
+    "reduce_pair",
+    "subdivide",
+    "validate_edge_labeled_embedding",
+    "Graph",
+    "GraphError",
+    "graph_from_edge_list",
+    "core_numbers",
+    "k_core_vertices",
+    "two_core_vertices",
+    "power_law_labels",
+    "random_connected_graph",
+    "random_spanning_tree_edges",
+    "random_walk_query",
+    "relabel",
+    "synthetic_graph",
+    "LabelMap",
+    "dumps_edge_list",
+    "dumps_graph",
+    "load_graph",
+    "loads_edge_list",
+    "loads_graph",
+    "save_graph",
+]

@@ -1,0 +1,96 @@
+"""Maximum bipartite matching (Hopcroft-Karp).
+
+A small self-contained substrate used by the GraphQL baseline's local
+pseudo-isomorphism refinement: query vertex ``u`` keeps data candidate
+``v`` only if the bipartite graph between ``N_q(u)`` and ``N_G(v)``
+(edges = candidate containment) has a matching saturating ``N_q(u)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+INFINITY = float("inf")
+
+
+def maximum_bipartite_matching(
+    num_left: int, num_right: int, adjacency: Sequence[Sequence[int]]
+) -> List[Optional[int]]:
+    """Hopcroft-Karp maximum matching.
+
+    ``adjacency[i]`` lists the right-side vertices left vertex ``i`` may
+    match.  Returns ``match_left`` with ``match_left[i]`` = matched right
+    vertex or ``None``.  Runs in ``O(E * sqrt(V))``.
+    """
+    match_left: List[Optional[int]] = [None] * num_left
+    match_right: List[Optional[int]] = [None] * num_right
+    distance: List[float] = [0.0] * num_left
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in range(num_left):
+            if match_left[u] is None:
+                distance[u] = 0.0
+                queue.append(u)
+            else:
+                distance[u] = INFINITY
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                partner = match_right[v]
+                if partner is None:
+                    found_free = True
+                elif distance[partner] == INFINITY:
+                    distance[partner] = distance[u] + 1
+                    queue.append(partner)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            partner = match_right[v]
+            if partner is None or (
+                distance[partner] == distance[u] + 1 and dfs(partner)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = INFINITY
+        return False
+
+    while bfs():
+        for u in range(num_left):
+            if match_left[u] is None:
+                dfs(u)
+    return match_left
+
+
+def has_saturating_matching(
+    num_left: int, num_right: int, adjacency: Sequence[Sequence[int]]
+) -> bool:
+    """True iff a matching saturates the whole left side."""
+    if num_left > num_right:
+        return False
+    if any(not row for row in adjacency):
+        return False
+    matched = maximum_bipartite_matching(num_left, num_right, adjacency)
+    return all(v is not None for v in matched)
+
+
+def semiperfect_matching_exists(
+    left_items: Sequence[int],
+    right_items: Sequence[int],
+    compatible,
+) -> bool:
+    """Convenience wrapper over arbitrary item sequences.
+
+    ``compatible(a, b)`` decides whether left item ``a`` can match right
+    item ``b``.
+    """
+    right_index: Dict[int, int] = {b: j for j, b in enumerate(right_items)}
+    adjacency = [
+        [right_index[b] for b in right_items if compatible(a, b)]
+        for a in left_items
+    ]
+    return has_saturating_matching(len(left_items), len(right_items), adjacency)

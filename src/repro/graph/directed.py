@@ -1,0 +1,125 @@
+"""Directed subgraph matching by reduction (Section 2's remark).
+
+Complementing :mod:`repro.graph.edge_labeled`, a directed (and optionally
+edge-labeled) graph reduces to an undirected vertex-labeled one by
+replacing each arc ``u -> v`` with the path ``u - t - h - v`` where the
+fresh vertices ``t`` ("tail") and ``h`` ("head") carry labels encoding
+``(edge label, TAIL)`` and ``(edge label, HEAD)``.  Because tail labels
+only match tail labels and head labels only heads, an undirected
+embedding of the reduced query necessarily maps every arc onto an arc of
+the same label *in the same direction*.  Antiparallel arc pairs are
+allowed (each arc gets its own gadget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .graph import Graph, GraphError
+
+
+@dataclass(frozen=True)
+class DiGraph:
+    """A directed graph with vertex labels and optional arc labels."""
+
+    vertex_labels: Tuple[int, ...]
+    arcs: Tuple[Tuple[int, int, int], ...]  # (source, target, arc_label)
+
+    def __post_init__(self):
+        n = len(self.vertex_labels)
+        seen = set()
+        for u, v, _lab in self.arcs:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"arc ({u}, {v}) out of range")
+            if u == v:
+                raise GraphError("self-loops are not supported")
+            if (u, v) in seen:
+                raise GraphError(f"duplicate arc ({u}, {v})")
+            seen.add((u, v))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_labels)
+
+
+@dataclass(frozen=True)
+class DirectedReduction:
+    """Reduced undirected graph plus projection bookkeeping."""
+
+    graph: Graph
+    original_vertices: int
+
+
+def _arc_label_alphabet(graphs: Iterable[DiGraph]) -> Dict[Tuple[int, str], int]:
+    """Fresh vertex labels for every (arc label, TAIL/HEAD) combination."""
+    max_vertex_label = -1
+    arc_labels = set()
+    for g in graphs:
+        if g.vertex_labels:
+            max_vertex_label = max(max_vertex_label, max(g.vertex_labels))
+        arc_labels.update(lab for _, _, lab in g.arcs)
+    base = max_vertex_label + 1
+    mapping: Dict[Tuple[int, str], int] = {}
+    for i, lab in enumerate(sorted(arc_labels)):
+        mapping[(lab, "tail")] = base + 2 * i
+        mapping[(lab, "head")] = base + 2 * i + 1
+    return mapping
+
+
+def orient(graph: DiGraph, alphabet: Dict[Tuple[int, str], int]) -> DirectedReduction:
+    """Replace each arc by the tail/head gadget path."""
+    labels: List[int] = list(graph.vertex_labels)
+    edges: List[Tuple[int, int]] = []
+    for u, v, lab in graph.arcs:
+        tail = len(labels)
+        labels.append(alphabet[(lab, "tail")])
+        head = len(labels)
+        labels.append(alphabet[(lab, "head")])
+        edges.extend([(u, tail), (tail, head), (head, v)])
+    return DirectedReduction(graph=Graph(labels, edges), original_vertices=graph.num_vertices)
+
+
+def reduce_directed_pair(query: DiGraph, data: DiGraph) -> Tuple[DirectedReduction, DirectedReduction]:
+    """Reduce query and data over a shared arc-label alphabet."""
+    alphabet = _arc_label_alphabet((query, data))
+    return orient(query, alphabet), orient(data, alphabet)
+
+
+def match_directed(
+    query: DiGraph,
+    data: DiGraph,
+    matcher_factory=None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """All direction- and label-preserving embeddings of ``query``."""
+    if matcher_factory is None:
+        from ..core.matcher import CFLMatch
+
+        matcher_factory = CFLMatch
+    reduced_query, reduced_data = reduce_directed_pair(query, data)
+    matcher = matcher_factory(reduced_data.graph)
+    emitted = 0
+    for embedding in matcher.search(reduced_query.graph):
+        yield tuple(embedding[: reduced_query.original_vertices])
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def validate_directed_embedding(
+    query: DiGraph, data: DiGraph, mapping: Sequence[int]
+) -> bool:
+    """Independent checker: injective, labels, arcs with direction."""
+    if len(set(mapping)) != len(mapping):
+        return False
+    for u, lab in enumerate(query.vertex_labels):
+        if not 0 <= mapping[u] < data.num_vertices:
+            return False
+        if data.vertex_labels[mapping[u]] != lab:
+            return False
+    data_arcs = {(u, v): lab for u, v, lab in data.arcs}
+    for u, v, lab in query.arcs:
+        if data_arcs.get((mapping[u], mapping[v])) != lab:
+            return False
+    return True

@@ -1,0 +1,219 @@
+"""Random graph and query generators used throughout the evaluation.
+
+The synthetic data-graph generator follows Section 6 of the paper exactly:
+"first randomly generate a spanning tree and then randomly add edges to
+the spanning tree, while vertex labels are added following the power-law
+distribution".  Query graphs are generated "as a connected subgraph of the
+data graph, by conducting random walk on the data graph" (Section 6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import Graph, GraphError
+
+
+def power_law_labels(
+    num_vertices: int,
+    num_labels: int,
+    rng: random.Random,
+    exponent: float = 1.0,
+) -> List[int]:
+    """Assign labels 0..num_labels-1 with power-law (Zipf-like) frequencies.
+
+    Label ``i`` is drawn with weight ``1 / (i + 1) ** exponent``; label 0 is
+    the most frequent, matching the paper's skewed-label setting.
+    """
+    if num_labels <= 0:
+        raise ValueError("num_labels must be positive")
+    weights = [1.0 / (i + 1) ** exponent for i in range(num_labels)]
+    return rng.choices(range(num_labels), weights=weights, k=num_vertices)
+
+
+def random_spanning_tree_edges(
+    num_vertices: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """A uniform random recursive tree on ``num_vertices`` vertices.
+
+    Each vertex v >= 1 connects to a uniformly random earlier vertex,
+    giving a connected spanning tree with ``num_vertices - 1`` edges.
+    """
+    return [(rng.randrange(v), v) for v in range(1, num_vertices)]
+
+
+def synthetic_graph(
+    num_vertices: int,
+    avg_degree: float = 8.0,
+    num_labels: int = 50,
+    seed: int = 0,
+    label_exponent: float = 1.0,
+) -> Graph:
+    """Synthetic data graph per the paper's Section 6 defaults.
+
+    Defaults mirror the paper: |V(G)| = 100k, d(G) = 8, |Sigma| = 50 --
+    callers pass smaller sizes for laptop-scale runs.
+    """
+    if num_vertices <= 0:
+        raise ValueError("num_vertices must be positive")
+    target_edges = max(num_vertices - 1, int(round(avg_degree * num_vertices / 2)))
+    rng = random.Random(seed)
+    labels = power_law_labels(num_vertices, num_labels, rng, label_exponent)
+    edges = random_spanning_tree_edges(num_vertices, rng)
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    # Random extra edges on top of the spanning tree.
+    max_possible = num_vertices * (num_vertices - 1) // 2
+    target_edges = min(target_edges, max_possible)
+    attempts = 0
+    max_attempts = 50 * max(target_edges, 1)
+    while len(edge_set) < target_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key not in edge_set:
+            edge_set.add(key)
+    return Graph(labels, sorted(edge_set))
+
+
+def add_similar_vertices(
+    graph: Graph, fraction: float, rng: random.Random
+) -> Graph:
+    """Inject *similar* vertices (same label + same neighborhood, [14]).
+
+    Grows the graph by duplicating random vertices until roughly
+    ``fraction`` of the final vertex count are duplicates (open twins:
+    copies share the original's neighbor set but are not adjacent to it).
+    Real protein-interaction networks contain many such twins — the Human
+    graph compresses by ~40% under the similar-vertex relation — while
+    plain random generators produce essentially none, so dataset proxies
+    use this to match the compressibility of their originals.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    if fraction == 0.0 or graph.num_vertices == 0:
+        return graph
+    target_total = int(round(graph.num_vertices / (1.0 - fraction)))
+    num_copies = target_total - graph.num_vertices
+    labels = list(graph.labels)
+    # Clones must copy the *live* neighborhood: if a neighbor of v is
+    # cloned after v was, the new clone attaches to both v and v's clones,
+    # keeping their neighborhoods identical (otherwise later clones would
+    # break earlier twin pairs and the graph would barely compress).
+    adjacency = [set(graph.neighbors(v)) for v in graph.vertices()]
+    candidates = [v for v in graph.vertices() if graph.degree(v) > 0]
+    for _ in range(num_copies):
+        original = rng.choice(candidates)
+        clone = len(labels)
+        labels.append(labels[original])
+        clone_neighbors = set(adjacency[original])
+        adjacency.append(clone_neighbors)
+        for w in clone_neighbors:
+            adjacency[w].add(clone)
+    edges = [
+        (u, w)
+        for u, neighbors in enumerate(adjacency)
+        for w in neighbors
+        if u < w
+    ]
+    return Graph(labels, edges)
+
+
+def random_walk_query(
+    data_graph: Graph,
+    num_vertices: int,
+    rng: random.Random,
+    keep_edge_probability: float = 1.0,
+    start: Optional[int] = None,
+) -> Graph:
+    """Extract a connected query as a random-walk subgraph of ``data_graph``.
+
+    Walks the data graph until ``num_vertices`` distinct vertices are
+    visited, then takes the induced subgraph on them.  To produce *sparse*
+    queries (paper's ``qS`` sets, average degree <= 3) a spanning tree of
+    the induced subgraph is always kept while every non-tree edge is kept
+    with ``keep_edge_probability``.
+
+    Raises ``GraphError`` when the reachable component is too small.
+    """
+    n = data_graph.num_vertices
+    if num_vertices < 1 or num_vertices > n:
+        raise GraphError(
+            f"cannot extract {num_vertices}-vertex query from {n}-vertex graph"
+        )
+    current = rng.randrange(n) if start is None else start
+    visited = {current}
+    order = [current]
+    stall = 0
+    max_stall = 200 * num_vertices + 1000
+    while len(visited) < num_vertices:
+        nbrs = data_graph.neighbors(current)
+        if not nbrs:
+            raise GraphError("random walk stuck on an isolated vertex")
+        current = rng.choice(nbrs)
+        if current not in visited:
+            visited.add(current)
+            order.append(current)
+            stall = 0
+        else:
+            stall += 1
+            if stall > max_stall:
+                raise GraphError(
+                    "random walk could not reach enough vertices; the "
+                    "component may be smaller than the requested query"
+                )
+    subgraph, original_ids = data_graph.induced_subgraph(visited)
+    if keep_edge_probability >= 1.0:
+        return subgraph
+    # Thin non-tree edges while preserving connectivity via a BFS tree.
+    parent, _ = subgraph.bfs_tree(0)
+    tree_edges = {
+        (min(v, p), max(v, p))
+        for v, p in enumerate(parent)
+        if p is not None and p != -1
+    }
+    kept = [
+        (u, v)
+        for (u, v) in subgraph.edges()
+        if (u, v) in tree_edges or rng.random() < keep_edge_probability
+    ]
+    del original_ids  # ids relative to data graph are not part of the query
+    return Graph(list(subgraph.labels), kept)
+
+
+def random_connected_graph(
+    num_vertices: int,
+    num_extra_edges: int,
+    num_labels: int,
+    rng: random.Random,
+) -> Graph:
+    """Small random connected labeled graph (tree + extra edges).
+
+    Used heavily by tests and property-based generators.
+    """
+    labels = [rng.randrange(num_labels) for _ in range(num_vertices)]
+    if num_vertices == 1:
+        return Graph(labels, [])
+    edge_set = {
+        (min(u, v), max(u, v)) for u, v in random_spanning_tree_edges(num_vertices, rng)
+    }
+    max_possible = num_vertices * (num_vertices - 1) // 2
+    target = min(len(edge_set) + max(num_extra_edges, 0), max_possible)
+    attempts = 0
+    while len(edge_set) < target and attempts < 50 * target + 100:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            edge_set.add((min(u, v), max(u, v)))
+    return Graph(labels, sorted(edge_set))
+
+
+def relabel(graph: Graph, labels: Sequence[int]) -> Graph:
+    """Copy of ``graph`` with a new label vector (same topology)."""
+    if len(labels) != graph.num_vertices:
+        raise GraphError("label vector length must equal the vertex count")
+    return Graph(list(labels), list(graph.edges()))

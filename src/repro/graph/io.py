@@ -1,0 +1,181 @@
+"""Graph serialization.
+
+Two formats are supported:
+
+* the ``.graph`` text format used by the public subgraph-matching
+  benchmark suites (one ``t``/``v``/``e`` record per line)::
+
+      t <num_vertices> <num_edges>
+      v <vertex_id> <label> <degree>
+      e <src> <dst>
+
+* a minimal edge-list format with a label header, convenient for quick
+  interop and for dumping generated workloads.
+
+String labels are interned into dense ints through :class:`LabelMap` so the
+in-memory :class:`~repro.graph.graph.Graph` always works on integers.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .graph import Graph, GraphError
+
+PathLike = Union[str, Path]
+
+
+class LabelMap:
+    """Bidirectional mapping between external label strings and dense ints."""
+
+    def __init__(self) -> None:
+        self._to_id: Dict[str, int] = {}
+        self._to_name: List[str] = []
+
+    def intern(self, name: str) -> int:
+        """Return the int id for ``name``, allocating one if new."""
+        existing = self._to_id.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_name)
+        self._to_id[name] = new_id
+        self._to_name.append(name)
+        return new_id
+
+    def name(self, label_id: int) -> str:
+        """External name of an interned label id."""
+        return self._to_name[label_id]
+
+    def __len__(self) -> int:
+        return len(self._to_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._to_id
+
+
+def dumps_graph(graph: Graph) -> str:
+    """Serialize to the ``t/v/e`` benchmark text format."""
+    out = io.StringIO()
+    out.write(f"t {graph.num_vertices} {graph.num_edges}\n")
+    for v in graph.vertices():
+        out.write(f"v {v} {graph.label(v)} {graph.degree(v)}\n")
+    for u, v in graph.edges():
+        out.write(f"e {u} {v}\n")
+    return out.getvalue()
+
+
+def _parse_int(token: str, line_no: int, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise GraphError(f"line {line_no}: {what} {token!r} is not an integer") from None
+
+
+def loads_graph(text: str) -> Graph:
+    """Parse the ``t/v/e`` benchmark text format.
+
+    Degree fields on ``v`` lines are optional and, when present, verified.
+    Malformed input raises :class:`GraphError` (never a bare ValueError).
+    """
+    num_vertices = -1
+    declared_edges = -1
+    labels: List[int] = []
+    declared_degrees: Dict[int, int] = {}
+    edges: List[Tuple[int, int]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        tag = parts[0]
+        if tag == "t":
+            if num_vertices != -1:
+                raise GraphError(f"line {line_no}: duplicate 't' header")
+            if len(parts) < 3:
+                raise GraphError(f"line {line_no}: 't' needs vertex and edge counts")
+            num_vertices = _parse_int(parts[1], line_no, "vertex count")
+            declared_edges = _parse_int(parts[2], line_no, "edge count")
+            if num_vertices < 0:
+                raise GraphError(f"line {line_no}: negative vertex count")
+            labels = [-1] * num_vertices
+        elif tag == "v":
+            if num_vertices == -1:
+                raise GraphError(f"line {line_no}: 'v' before 't' header")
+            if len(parts) < 3:
+                raise GraphError(f"line {line_no}: 'v' needs id and label")
+            vid = _parse_int(parts[1], line_no, "vertex id")
+            if not 0 <= vid < num_vertices:
+                raise GraphError(f"line {line_no}: vertex id {vid} out of range")
+            if labels[vid] != -1:
+                raise GraphError(f"line {line_no}: vertex {vid} declared twice")
+            labels[vid] = _parse_int(parts[2], line_no, "label")
+            if len(parts) >= 4:
+                declared_degrees[vid] = _parse_int(parts[3], line_no, "degree")
+        elif tag == "e":
+            if len(parts) < 3:
+                raise GraphError(f"line {line_no}: 'e' needs two endpoints")
+            edges.append(
+                (
+                    _parse_int(parts[1], line_no, "edge endpoint"),
+                    _parse_int(parts[2], line_no, "edge endpoint"),
+                )
+            )
+        else:
+            raise GraphError(f"line {line_no}: unknown record tag {tag!r}")
+    if num_vertices == -1:
+        raise GraphError("missing 't' header")
+    missing = [v for v, lab in enumerate(labels) if lab == -1]
+    if missing:
+        raise GraphError(f"vertices without 'v' records: {missing[:5]}...")
+    graph = Graph(labels, edges)
+    if declared_edges != -1 and graph.num_edges != declared_edges:
+        raise GraphError(
+            f"header declares {declared_edges} edges but {graph.num_edges} found"
+        )
+    for vid, declared in declared_degrees.items():
+        if graph.degree(vid) != declared:
+            raise GraphError(
+                f"vertex {vid} declares degree {declared} but has {graph.degree(vid)}"
+            )
+    return graph
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write a graph to ``path`` in the ``t/v/e`` format."""
+    Path(path).write_text(dumps_graph(graph))
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Load a graph from a ``t/v/e`` file."""
+    return loads_graph(Path(path).read_text())
+
+
+def dumps_edge_list(graph: Graph) -> str:
+    """Serialize as ``labels`` header line + one edge per line."""
+    out = io.StringIO()
+    out.write(" ".join(str(lab) for lab in graph.labels) + "\n")
+    for u, v in graph.edges():
+        out.write(f"{u} {v}\n")
+    return out.getvalue()
+
+
+def loads_edge_list(text: str) -> Graph:
+    """Parse the edge-list format produced by :func:`dumps_edge_list`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise GraphError("empty edge-list document")
+    labels = [_parse_int(tok, 1, "label") for tok in lines[0].split()]
+    edges = []
+    for line_no, raw in enumerate(lines[1:], start=2):
+        parts = raw.split()
+        if len(parts) < 2:
+            raise GraphError(f"line {line_no}: an edge needs two endpoints")
+        edges.append(
+            (
+                _parse_int(parts[0], line_no, "edge endpoint"),
+                _parse_int(parts[1], line_no, "edge endpoint"),
+            )
+        )
+    return Graph(labels, edges)

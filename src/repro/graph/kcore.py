@@ -1,0 +1,95 @@
+"""k-core decomposition (Batagelj-Zaversnik peeling, O(|E|)).
+
+The paper's core-forest decomposition (Lemma 3.1) is exactly the 2-core of
+the query: iteratively remove degree-one vertices until none remain.  We
+implement the general k-core peel plus the specialized 2-core used by
+:mod:`repro.core.decomposition`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import Graph
+
+
+def core_numbers(graph: Graph) -> List[int]:
+    """Core number of every vertex (the largest k with v in the k-core).
+
+    Uses the bucket-based peeling of Batagelj & Zaversnik [1], linear in
+    the number of edges.
+    """
+    n = graph.num_vertices
+    degree = [graph.degree(v) for v in range(n)]
+    if n == 0:
+        return []
+    max_degree = max(degree)
+    # bucket sort vertices by degree
+    bins = [0] * (max_degree + 1)
+    for d in degree:
+        bins[d] += 1
+    start = 0
+    for d in range(max_degree + 1):
+        count = bins[d]
+        bins[d] = start
+        start += count
+    position = [0] * n
+    ordered = [0] * n
+    for v in range(n):
+        position[v] = bins[degree[v]]
+        ordered[position[v]] = v
+        bins[degree[v]] += 1
+    for d in range(max_degree, 0, -1):
+        bins[d] = bins[d - 1]
+    bins[0] = 0
+
+    core = degree[:]
+    adj = graph.adj
+    for i in range(n):
+        v = ordered[i]
+        for w in adj[v]:
+            if core[w] > core[v]:
+                # move w to the front of its bucket, then decrement
+                dw = core[w]
+                pw = position[w]
+                ps = bins[dw]
+                s = ordered[ps]
+                if s != w:
+                    ordered[ps], ordered[pw] = w, s
+                    position[w], position[s] = ps, pw
+                bins[dw] += 1
+                core[w] -= 1
+    return core
+
+
+def k_core_vertices(graph: Graph, k: int) -> List[int]:
+    """Vertices of the k-core (possibly empty), by iterative peeling."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    core = core_numbers(graph)
+    return [v for v in range(graph.num_vertices) if core[v] >= k]
+
+
+def two_core_vertices(graph: Graph) -> List[int]:
+    """Vertices of the 2-core via direct degree-one peeling (Section 3).
+
+    This mirrors the paper's description ("iteratively removing all
+    degree-one vertices") and is used by the CFL decomposition; it agrees
+    with :func:`k_core_vertices` for k=2 (property-tested).
+    """
+    n = graph.num_vertices
+    degree = [graph.degree(v) for v in range(n)]
+    removed = [False] * n
+    stack = [v for v in range(n) if degree[v] <= 1]
+    adj = graph.adj
+    while stack:
+        v = stack.pop()
+        if removed[v]:
+            continue
+        removed[v] = True
+        for w in adj[v]:
+            if not removed[w]:
+                degree[w] -= 1
+                if degree[w] <= 1:
+                    stack.append(w)
+    return [v for v in range(n) if not removed[v]]

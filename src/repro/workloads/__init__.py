@@ -1,0 +1,41 @@
+"""Evaluation workloads: dataset proxies and query-set generation."""
+
+from .datasets import (
+    DATASETS,
+    SCALES,
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+    synthetic_sweep_degree,
+    synthetic_sweep_labels,
+    synthetic_sweep_vertices,
+)
+from .queries import (
+    QuerySetSpec,
+    classify_by_frequency,
+    default_query_specs,
+    default_spec,
+    generate_query,
+    generate_query_set,
+    sparsify_to_avg_degree,
+)
+
+__all__ = [
+    "DATASETS",
+    "SCALES",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_spec",
+    "load_dataset",
+    "synthetic_sweep_degree",
+    "synthetic_sweep_labels",
+    "synthetic_sweep_vertices",
+    "QuerySetSpec",
+    "classify_by_frequency",
+    "default_query_specs",
+    "default_spec",
+    "generate_query",
+    "generate_query_set",
+    "sparsify_to_avg_degree",
+]

@@ -1,0 +1,142 @@
+"""Dataset proxies for the paper's evaluation graphs (Section 6 / A-II).
+
+The original experiments use three protein-interaction networks (HPRD,
+Yeast, Human) plus WordNet and DBLP, none of which ship with this offline
+reproduction.  Each is substituted by a synthetic graph from the paper's
+own generator family (random spanning tree + random edges, power-law
+labels) matching the original's vertex count, average degree, and label
+selectivity ``|V|/|Sigma|`` — the three statistics that drive relative
+algorithm behaviour.  ``scale`` shrinks |V| (and |Sigma| proportionally,
+preserving selectivity) so the pure-Python suite runs on a laptop;
+``scale="full"`` reproduces the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import random
+
+from ..graph.generators import add_similar_vertices, synthetic_graph
+from ..graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistics of one evaluation graph (at full scale).
+
+    ``twin_fraction`` is the target fraction of *similar* vertices (same
+    label + same neighborhood): real PPI networks contain many such twins
+    — the Human graph compresses by ~40% under [14]'s relation, HPRD by
+    <5% (paper Eval-IV) — while random generators produce none, so the
+    proxies inject them to match the originals' compressibility.
+    """
+
+    name: str
+    num_vertices: int
+    avg_degree: float
+    num_labels: int
+    description: str
+    twin_fraction: float = 0.05
+
+    def scaled(self, factor: float) -> "DatasetSpec":
+        """Shrink |V| and |Sigma| by ``factor``, keeping selectivity."""
+        vertices = max(int(self.num_vertices * factor), 50)
+        labels = max(int(round(self.num_labels * factor)), 2)
+        return DatasetSpec(
+            name=self.name,
+            num_vertices=vertices,
+            avg_degree=self.avg_degree,
+            num_labels=labels,
+            description=self.description,
+            twin_fraction=self.twin_fraction,
+        )
+
+
+# Full-scale statistics exactly as reported in Section 6 and Section A.8;
+# twin fractions follow the compression ratios the paper reports (Eval-IV:
+# Human ~40%, HPRD <5%); unreported graphs get a conservative 5%.
+DATASETS: Dict[str, DatasetSpec] = {
+    "hprd": DatasetSpec("hprd", 9460, 7.8, 307, "HPRD protein interactions proxy", 0.04),
+    "yeast": DatasetSpec("yeast", 3112, 8.1, 71, "Yeast protein interactions proxy", 0.05),
+    "human": DatasetSpec("human", 4674, 36.9, 44, "Human protein interactions proxy (dense)", 0.40),
+    "wordnet": DatasetSpec("wordnet", 82670, 3.3, 5, "WordNet proxy (few labels)", 0.05),
+    "dblp": DatasetSpec("dblp", 317080, 6.6, 100, "DBLP co-authorship proxy", 0.05),
+    "synthetic": DatasetSpec("synthetic", 100_000, 8.0, 50, "Paper default synthetic graph", 0.0),
+}
+
+# scale name -> |V| shrink factor
+SCALES: Dict[str, float] = {
+    "tiny": 0.02,
+    "small": 0.08,
+    "medium": 0.25,
+    "full": 1.0,
+}
+
+
+def dataset_names() -> List[str]:
+    return sorted(DATASETS)
+
+
+def dataset_spec(name: str, scale: str = "small") -> DatasetSpec:
+    """Spec of a dataset at the requested scale."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {dataset_names()}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    spec = DATASETS[name]
+    factor = SCALES[scale]
+    return spec if factor == 1.0 else spec.scaled(factor)
+
+
+def load_dataset(name: str, scale: str = "small", seed: int = 1) -> Graph:
+    """Generate the proxy graph for ``name`` at ``scale``.
+
+    Twin injection multiplies both vertex count and average degree, so the
+    base graph is generated proportionally smaller/sparser and then grown
+    with :func:`add_similar_vertices` to land on the spec's statistics.
+    """
+    spec = dataset_spec(name, scale)
+    fraction = spec.twin_fraction
+    base_vertices = max(int(round(spec.num_vertices * (1.0 - fraction))), 2)
+    # Each clone adds roughly the current average degree worth of edges,
+    # so the final average degree is ~base / (1 - fraction).
+    base_degree = spec.avg_degree * (1.0 - fraction)
+    base = synthetic_graph(
+        num_vertices=base_vertices,
+        avg_degree=base_degree,
+        num_labels=spec.num_labels,
+        seed=seed,
+    )
+    if fraction == 0.0:
+        return base
+    return add_similar_vertices(base, fraction, random.Random(seed + 1))
+
+
+def synthetic_sweep_vertices(sizes: List[int], seed: int = 1) -> Dict[str, Graph]:
+    """Figure 16(a): graphs G_{ik} varying |V(G)| at default d=8, L=50."""
+    return {
+        f"G_{size}": synthetic_graph(size, avg_degree=8.0, num_labels=50, seed=seed)
+        for size in sizes
+    }
+
+
+def synthetic_sweep_degree(degrees: List[float], num_vertices: int, seed: int = 1) -> Dict[str, Graph]:
+    """Figure 16(b): graphs G_{d=i} varying average degree."""
+    return {
+        f"G_d={degree:g}": synthetic_graph(
+            num_vertices, avg_degree=degree, num_labels=50, seed=seed
+        )
+        for degree in degrees
+    }
+
+
+def synthetic_sweep_labels(label_counts: List[int], num_vertices: int, seed: int = 1) -> Dict[str, Graph]:
+    """Figures 16(c)-(d): graphs G_{L=i} varying the number of labels."""
+    return {
+        f"G_L={labels}": synthetic_graph(
+            num_vertices, avg_degree=8.0, num_labels=labels, seed=seed
+        )
+        for labels in label_counts
+    }

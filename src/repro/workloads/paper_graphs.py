@@ -1,0 +1,208 @@
+"""The paper's worked examples as concrete graphs.
+
+These fixtures back the paper-example tests and the Figure-1 motivating
+benchmark.  Where a figure's data graph is only partially specified by the
+text (Figures 1 and 3), a graph consistent with *every* stated fact is
+constructed; Figure 7 is fully determined by Examples 5.1/5.2 and is
+reproduced so that each individual pruning step matches the prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..graph.graph import Graph
+
+# Readable label constants.
+A, B, C, D, E, F, G_LAB, H = range(8)
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    """A (query, data) pair plus a name -> vertex-id map for each graph."""
+
+    query: Graph
+    data: Graph
+    query_ids: Dict[str, int]
+    data_ids: Dict[str, int]
+
+    def q(self, name: str) -> int:
+        return self.query_ids[name]
+
+    def v(self, name: str) -> int:
+        return self.data_ids[name]
+
+
+def _build(labels: List[Tuple[str, int]], edges: List[Tuple[str, str]]) -> Tuple[Graph, Dict[str, int]]:
+    ids = {name: i for i, (name, _) in enumerate(labels)}
+    graph = Graph([lab for _, lab in labels], [(ids[a], ids[b]) for a, b in edges])
+    return graph, ids
+
+
+def figure1_example(num_core_paths: int = 100, num_fan: int = 1000) -> PaperExample:
+    """Figure 1 / Section 3's motivating example, parameterized.
+
+    The query's 2-core is the triangle-with-chord cycle (u1, u2, u5); u3/u4
+    hang off u2 via u3, and u6 is a leaf of u5.  The data graph has
+    ``num_core_paths`` embeddings of the (u2, u3, u4) branch and
+    ``num_fan`` candidate mappings for u5, of which exactly one survives
+    the non-tree edge (u2, u5).  With the paper's defaults (100, 1000) the
+    Section 3 cost-model numbers are ``T_iso = 200302`` for the order
+    (u1,u2,u3,u4,u5,u6) and ``T'_iso = 2302`` for (u1,u2,u5,u3,u4,u6).
+    """
+    query, query_ids = _build(
+        labels=[("u1", A), ("u2", B), ("u3", E), ("u4", D), ("u5", C), ("u6", D)],
+        edges=[("u1", "u2"), ("u2", "u3"), ("u3", "u4"), ("u1", "u5"), ("u5", "u6"), ("u2", "u5")],
+    )
+    labels: List[Tuple[str, int]] = [("v0", A), ("v1", B)]
+    edges: List[Tuple[str, str]] = [("v0", "v1")]
+    for j in range(num_fan):  # u5's fan of candidates, all adjacent to v0
+        labels.append((f"f{j}", C))
+        edges.append(("v0", f"f{j}"))
+    edges.append(("v1", "f0"))  # the single non-tree-edge witness
+    for i in range(num_core_paths):  # the (u3, u4) branches off v1
+        labels.append((f"e{i}", E))
+        labels.append((f"d{i}", D))
+        edges.append(("v1", f"e{i}"))
+        edges.append((f"e{i}", f"d{i}"))
+    labels.append(("w", D))  # u6's unique image
+    edges.append(("f0", "w"))
+    data, data_ids = _build(labels, edges)
+    return PaperExample(query, data, query_ids, data_ids)
+
+
+def figure3_example() -> PaperExample:
+    """Figure 3: the preliminaries' running example.
+
+    Consistent with every stated fact: exactly three embeddings,
+    mapping (u1..u5) to (v0,v2,v1,v5,v4), (v0,v2,v1,v5,v6) and
+    (v0,v2,v3,v5,v6); spanning tree (u1,u2),(u2,u4),(u1,u3),(u3,u5) with
+    non-tree edge (u3,u4); d_2^1 = 2 in Example 2.1.
+    """
+    query, query_ids = _build(
+        labels=[("u1", A), ("u2", B), ("u3", C), ("u4", D), ("u5", E)],
+        edges=[("u1", "u2"), ("u1", "u3"), ("u2", "u4"), ("u3", "u5"), ("u3", "u4")],
+    )
+    data, data_ids = _build(
+        labels=[("v0", A), ("v1", C), ("v2", B), ("v3", C), ("v4", E), ("v5", D), ("v6", E)],
+        edges=[
+            ("v0", "v1"), ("v0", "v2"), ("v0", "v3"),
+            ("v2", "v5"), ("v1", "v5"), ("v3", "v5"),
+            ("v1", "v4"), ("v1", "v6"), ("v3", "v6"),
+        ],
+    )
+    return PaperExample(query, data, query_ids, data_ids)
+
+
+def figure4_query() -> Tuple[Graph, Dict[str, int]]:
+    """Figure 4: the CFL-decomposition example query.
+
+    Core triangle (u0,u1,u2); forest trees rooted at u1 (u3, u4) and u2
+    (u5, u6); leaves u7..u10 with parents u3..u6 respectively.  Labels
+    follow Section 4.4's example: two leaf label classes, S_G = {u8, u9}
+    and S_F = {u7, u10}.
+    """
+    return _build(
+        labels=[
+            ("u0", A), ("u1", B), ("u2", C),
+            ("u3", D), ("u4", E), ("u5", D), ("u6", E),
+            ("u7", F), ("u8", G_LAB), ("u9", G_LAB), ("u10", F),
+        ],
+        edges=[
+            ("u0", "u1"), ("u1", "u2"), ("u0", "u2"),
+            ("u1", "u3"), ("u1", "u4"), ("u2", "u5"), ("u2", "u6"),
+            ("u3", "u7"), ("u4", "u8"), ("u5", "u9"), ("u6", "u10"),
+        ],
+    )
+
+
+def figure5_example() -> PaperExample:
+    """Figure 5: the simple two-vertex CPI illustration (Section 4.1)."""
+    query, query_ids = _build(
+        labels=[("u0", A), ("u1", B)],
+        edges=[("u0", "u1")],
+    )
+    data, data_ids = _build(
+        labels=[
+            ("v0", A), ("v1", A), ("v2", A), ("v3", A), ("v4", A),
+            ("v5", B), ("v6", B), ("v7", B), ("v8", B), ("v9", B),
+        ],
+        edges=[
+            ("v0", "v5"), ("v0", "v8"),
+            ("v1", "v6"), ("v2", "v7"), ("v3", "v8"), ("v4", "v9"),
+        ],
+    )
+    return PaperExample(query, data, query_ids, data_ids)
+
+
+def figure7_example() -> PaperExample:
+    """Figure 7 / Examples 5.1 and 5.2: the CPI-construction walkthrough.
+
+    Fully determined by the prose; the expected intermediate states are:
+
+    * after top-down: u0.C = {v1, v2}, u1.C = {v3, v5, v7} (v9 pruned in
+      the backward pass), u2.C = {v4, v6, v8} (v10 pruned by CandVerify:
+      no D-labeled neighbor), u3.C = {v11, v12} (v13 lacks u2.C
+      neighbors, v15 lacks u1.C neighbors);
+    * after bottom-up: v8 pruned from u2.C, v7 from u1.C, v2 from u0.C,
+      and v7 removed from N_{u1}^{u0}(v1).
+    """
+    query, query_ids = _build(
+        labels=[("u0", A), ("u1", B), ("u2", C), ("u3", D)],
+        edges=[("u0", "u1"), ("u0", "u2"), ("u1", "u2"), ("u1", "u3"), ("u2", "u3")],
+    )
+    data, data_ids = _build(
+        labels=[
+            ("v1", A), ("v2", A),
+            ("v3", B), ("v5", B), ("v7", B), ("v9", B),
+            ("v4", C), ("v6", C), ("v8", C), ("v10", C),
+            ("v11", D), ("v12", D), ("v13", D), ("v14", D), ("v15", D),
+            ("v16", E), ("v17", E),
+        ],
+        edges=[
+            # v1's neighborhood (A-hub that survives refinement)
+            ("v1", "v3"), ("v1", "v5"), ("v1", "v7"), ("v1", "v4"), ("v1", "v6"),
+            # v2's neighborhood (pruned bottom-up: its B-neighbors die)
+            ("v2", "v7"), ("v2", "v9"), ("v2", "v8"), ("v2", "v10"),
+            # B-C edges
+            ("v3", "v4"), ("v5", "v6"), ("v7", "v8"), ("v9", "v10"),
+            # B-D edges
+            ("v3", "v11"), ("v5", "v12"), ("v7", "v13"), ("v9", "v15"),
+            # C-D edges
+            ("v4", "v11"), ("v6", "v12"), ("v8", "v14"), ("v4", "v15"),
+            # filler neighbors: keep v10's degree >= 3 without a D neighbor,
+            # and v13's degree >= 2 without a u2.C neighbor
+            ("v10", "v16"), ("v13", "v17"),
+        ],
+    )
+    return PaperExample(query, data, query_ids, data_ids)
+
+
+def figure17_turboiso_pathological(n: int = 8, big_n: int = 24) -> PaperExample:
+    """Figure 17 / Section A.3: the near-clique that blows up TurboISO.
+
+    The query is a path ``u0(B) - u1(A) - ... - u_{n}(A)``; the data graph
+    is an ``big_n``-vertex near-clique of A-vertices (a clique minus a
+    Hamiltonian cycle) with ``v0`` additionally adjacent to a B and a C
+    vertex.  TurboISO materializes ~``(big_n / e)^{n-1}`` instances while
+    CFL-Match's CPI stays polynomial.
+    """
+    q_labels: List[Tuple[str, int]] = [("u0", B)] + [(f"u{i}", A) for i in range(1, n + 1)]
+    q_edges = [(f"u{i}", f"u{i + 1}") for i in range(n)]
+    query, query_ids = _build(q_labels, q_edges)
+
+    labels = [(f"v{i}", A) for i in range(big_n)]
+    edges: List[Tuple[str, str]] = []
+    for i in range(big_n):
+        for j in range(i + 1, big_n):
+            # near-clique: drop the cycle edges (v_i, v_{i+1}) and (v_0, v_{N-1})
+            if j == i + 1 or (i == 0 and j == big_n - 1):
+                continue
+            edges.append((f"v{i}", f"v{j}"))
+    labels.append((f"v{big_n}", B))
+    labels.append((f"v{big_n + 1}", C))
+    edges.append(("v0", f"v{big_n}"))
+    edges.append(("v0", f"v{big_n + 1}"))
+    data, data_ids = _build(labels, edges)
+    return PaperExample(query, data, query_ids, data_ids)

@@ -1,0 +1,141 @@
+"""Query-set generation (Section 6, Table 3).
+
+Each query is a connected subgraph of the data graph extracted by random
+walk; a query set contains ``count`` queries of the same vertex count.
+Sets come in two density classes: *sparse* (``qiS``, average degree <= 3)
+and *non-sparse* (``qiN``, average degree > 3).  Sparse queries are
+produced by thinning the induced subgraph's non-tree edges down to the
+degree bound (keeping a spanning tree, so connectivity is preserved);
+non-sparse ones by rejecting walks whose induced subgraph is too sparse.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..graph.generators import random_walk_query
+from ..graph.graph import Graph, GraphError
+
+SPARSE_MAX_AVG_DEGREE = 3.0
+
+
+@dataclass(frozen=True)
+class QuerySetSpec:
+    """One of the paper's query sets, e.g. q50S = 50 vertices, sparse."""
+
+    num_vertices: int
+    sparse: bool
+    count: int = 100
+
+    @property
+    def name(self) -> str:
+        return f"q{self.num_vertices}{'S' if self.sparse else 'N'}"
+
+
+def sparsify_to_avg_degree(
+    graph: Graph, max_avg_degree: float, rng: random.Random
+) -> Graph:
+    """Drop random non-tree edges until the average degree bound holds.
+
+    A BFS spanning tree is always kept, so the result stays connected.
+    """
+    n = graph.num_vertices
+    max_edges = int(max_avg_degree * n / 2)
+    if graph.num_edges <= max_edges:
+        return graph
+    parent, _ = graph.bfs_tree(0)
+    tree_edges = [
+        (min(v, p), max(v, p))
+        for v, p in enumerate(parent)
+        if p is not None and p != -1
+    ]
+    non_tree = [e for e in graph.edges() if e not in set(tree_edges)]
+    rng.shuffle(non_tree)
+    budget = max(max_edges - len(tree_edges), 0)
+    kept = tree_edges + non_tree[:budget]
+    return Graph(list(graph.labels), kept)
+
+
+def generate_query(
+    data: Graph,
+    num_vertices: int,
+    sparse: bool,
+    rng: random.Random,
+    max_attempts: int = 60,
+) -> Graph:
+    """One random-walk query of the requested size and density class.
+
+    Density is best-effort for the non-sparse class on sparse data graphs:
+    after ``max_attempts`` walks the densest extraction is returned (the
+    paper's classes are defined by the generated set, not enforced
+    per-graph on arbitrary data).
+    """
+    if num_vertices < 2:
+        raise GraphError("query sets use at least 2 vertices")
+    best: Optional[Graph] = None
+    best_avg = -1.0
+    for _ in range(max_attempts):
+        query = random_walk_query(data, num_vertices, rng)
+        avg = query.average_degree()
+        if sparse:
+            if avg > SPARSE_MAX_AVG_DEGREE:
+                query = sparsify_to_avg_degree(query, SPARSE_MAX_AVG_DEGREE, rng)
+            return query
+        if avg > SPARSE_MAX_AVG_DEGREE:
+            return query
+        if avg > best_avg:
+            best, best_avg = query, avg
+    assert best is not None
+    return best
+
+
+def generate_query_set(
+    data: Graph,
+    spec: QuerySetSpec,
+    seed: int = 0,
+) -> List[Graph]:
+    """A full query set per ``spec`` (deterministic for a given seed)."""
+    rng = random.Random(seed)
+    return [
+        generate_query(data, spec.num_vertices, spec.sparse, rng)
+        for _ in range(spec.count)
+    ]
+
+
+def default_query_specs(dataset: str, count: int = 100) -> List[QuerySetSpec]:
+    """Table 3's query sets: smaller sizes for Human (harder graph)."""
+    sizes = [10, 15, 20, 25] if dataset == "human" else [25, 50, 100, 200]
+    specs: List[QuerySetSpec] = []
+    for size in sizes:
+        specs.append(QuerySetSpec(size, sparse=True, count=count))
+        specs.append(QuerySetSpec(size, sparse=False, count=count))
+    return specs
+
+
+def default_spec(dataset: str, sparse: bool, count: int = 100) -> QuerySetSpec:
+    """Table 3's default set: q50S/q50N (q15S/q15N for Human)."""
+    size = 15 if dataset == "human" else 50
+    return QuerySetSpec(size, sparse=sparse, count=count)
+
+
+def classify_by_frequency(
+    data: Graph,
+    queries: List[Graph],
+    threshold: int,
+    count_fn,
+) -> tuple:
+    """Split queries into (frequent, infrequent) by embedding count
+    (Figure 22's frequent/infrequent query classes).
+
+    ``count_fn(query, limit)`` must return the (possibly capped) embedding
+    count; queries with at least ``threshold`` embeddings are frequent.
+    """
+    frequent, infrequent = [], []
+    for query in queries:
+        if count_fn(query, threshold) >= threshold:
+            frequent.append(query)
+        else:
+            infrequent.append(query)
+    return frequent, infrequent

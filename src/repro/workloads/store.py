@@ -1,0 +1,82 @@
+"""Workload persistence: save/load benchmark workloads as plain files.
+
+A *workload* is a data graph plus named query sets.  Persisting one makes
+benchmark runs reproducible artifacts that can be diffed, shipped, and
+re-run against other implementations (every graph is stored in the
+``t/v/e`` exchange format that the C++ subgraph-matching suites read).
+
+Layout::
+
+    <root>/
+      data.graph
+      manifest.txt            # one line per query set: name count
+      <set name>/q0.graph, q1.graph, ...
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..graph.graph import Graph, GraphError
+from ..graph.io import load_graph, save_graph
+
+PathLike = Union[str, Path]
+
+_MANIFEST = "manifest.txt"
+_DATA = "data.graph"
+
+
+def save_workload(
+    root: PathLike,
+    data: Graph,
+    query_sets: Dict[str, Sequence[Graph]],
+) -> None:
+    """Write a workload directory (overwrites existing files in place)."""
+    root_path = Path(root)
+    root_path.mkdir(parents=True, exist_ok=True)
+    save_graph(data, root_path / _DATA)
+    lines = []
+    for name, queries in sorted(query_sets.items()):
+        if not name or "/" in name or name.startswith("."):
+            raise GraphError(f"invalid query-set name {name!r}")
+        set_dir = root_path / name
+        set_dir.mkdir(exist_ok=True)
+        for i, query in enumerate(queries):
+            save_graph(query, set_dir / f"q{i}.graph")
+        lines.append(f"{name} {len(queries)}")
+    (root_path / _MANIFEST).write_text("\n".join(lines) + "\n")
+
+
+def load_workload(root: PathLike) -> Tuple[Graph, Dict[str, List[Graph]]]:
+    """Read a workload directory written by :func:`save_workload`."""
+    root_path = Path(root)
+    manifest = root_path / _MANIFEST
+    if not manifest.exists():
+        raise GraphError(f"no workload manifest at {manifest}")
+    data = load_graph(root_path / _DATA)
+    query_sets: Dict[str, List[Graph]] = {}
+    for line in manifest.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        name, count_str = line.rsplit(" ", 1)
+        count = int(count_str)
+        queries = [
+            load_graph(root_path / name / f"q{i}.graph") for i in range(count)
+        ]
+        query_sets[name] = queries
+    return data, query_sets
+
+
+def workload_summary(root: PathLike) -> str:
+    """One-paragraph description of a stored workload."""
+    data, query_sets = load_workload(root)
+    parts = [
+        f"data graph: |V|={data.num_vertices} |E|={data.num_edges} "
+        f"|Sigma|={data.num_labels}"
+    ]
+    for name, queries in sorted(query_sets.items()):
+        sizes = {q.num_vertices for q in queries}
+        parts.append(f"{name}: {len(queries)} queries, |V(q)| in {sorted(sizes)}")
+    return "\n".join(parts)

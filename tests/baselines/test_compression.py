@@ -1,0 +1,107 @@
+"""Unit tests for the data-graph compression boost ([14])."""
+
+from repro.baselines import BoostMatch, compress_data_graph
+from repro.graph import Graph
+from tests.conftest import nx_monomorphisms, random_instance
+
+
+class TestCompressDataGraph:
+    def test_independent_twins_merge(self):
+        # v1, v2: same label, same open neighborhood {0}
+        g = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        c = compress_data_graph(g)
+        assert c.num_classes == 2
+        merged = next(cls for cls in c.classes if len(cls) == 2)
+        assert sorted(merged) == [1, 2]
+        index = c.classes.index(merged)
+        assert not c.clique[index]
+
+    def test_clique_twins_merge(self):
+        # v1, v2 adjacent with identical closed neighborhoods
+        g = Graph([0, 1, 1], [(0, 1), (0, 2), (1, 2)])
+        c = compress_data_graph(g)
+        assert c.num_classes == 2
+        merged_index = next(i for i, cls in enumerate(c.classes) if len(cls) == 2)
+        assert c.clique[merged_index]
+
+    def test_different_labels_never_merge(self):
+        g = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        c = compress_data_graph(g)
+        assert c.num_classes == 3
+
+    def test_quotient_edges_complete_bipartite(self, rng):
+        """If classes A, B touch, every member pair is adjacent."""
+        from repro.graph import random_connected_graph
+
+        for _ in range(20):
+            g = random_connected_graph(rng.randrange(3, 18), rng.randrange(0, 12), 2, rng)
+            c = compress_data_graph(g)
+            for s, t in c.quotient.edges():
+                for a in c.classes[s]:
+                    for b in c.classes[t]:
+                        assert g.has_edge(a, b)
+
+    def test_clique_classes_are_cliques(self, rng):
+        from repro.graph import random_connected_graph
+
+        for _ in range(20):
+            g = random_connected_graph(rng.randrange(3, 18), rng.randrange(0, 12), 2, rng)
+            c = compress_data_graph(g)
+            for index, members in enumerate(c.classes):
+                for i, a in enumerate(members):
+                    for b in members[i + 1:]:
+                        assert g.has_edge(a, b) == c.clique[index]
+
+    def test_compression_ratio(self):
+        g = Graph([0, 1, 1, 1, 1], [(0, i) for i in range(1, 5)])
+        c = compress_data_graph(g)
+        assert c.num_classes == 2
+        assert c.compression_ratio(g) == 1 - 2 / 5
+
+    def test_classes_partition_vertices(self, rng):
+        from repro.graph import random_connected_graph
+
+        for _ in range(15):
+            g = random_connected_graph(rng.randrange(2, 20), rng.randrange(0, 10), 2, rng)
+            c = compress_data_graph(g)
+            flat = sorted(v for cls in c.classes for v in cls)
+            assert flat == list(g.vertices())
+
+
+class TestBoostMatch:
+    def test_count_uses_expansion_factors(self):
+        # star with 4 identical leaves; query asks for 2 of them
+        data = Graph([0, 1, 1, 1, 1], [(0, i) for i in range(1, 5)])
+        query = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        assert BoostMatch(data).count(query) == 4 * 3
+
+    def test_clique_query_into_clique_class(self):
+        # data: K4 of identical labels; query: triangle of that label
+        data = Graph([0] * 4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        query = Graph([0] * 3, [(0, 1), (1, 2), (0, 2)])
+        assert BoostMatch(data).count(query) == 24
+
+    def test_adjacent_query_pair_needs_clique_class(self):
+        # data: two independent twins; query: adjacent same-label pair
+        data = Graph([1, 1, 0], [(0, 2), (1, 2)])
+        query = Graph([1, 1], [(0, 1)])
+        assert list(BoostMatch(data).search(query)) == []
+
+    def test_matches_oracle_both_orders(self, rng):
+        for strategy in ("cfl", "turbo"):
+            for _ in range(8):
+                data, query = random_instance(rng)
+                got = set(BoostMatch(data, order_strategy=strategy).search(query))
+                assert got == nx_monomorphisms(query, data)
+
+    def test_invalid_strategy_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BoostMatch(Graph([0], []), order_strategy="nope")
+
+    def test_index_size_reported(self):
+        data = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        query = Graph([0, 1], [(0, 1)])
+        report = BoostMatch(data).run(query)
+        assert report.cpi_size > 0

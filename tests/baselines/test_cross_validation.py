@@ -1,0 +1,87 @@
+"""Cross-validation: every matcher produces the identical embedding set,
+and that set equals two independent oracles (networkx, brute force)."""
+
+import pytest
+
+from repro.baselines import (
+    BoostMatch,
+    GraphQLMatch,
+    QuickSIMatch,
+    SPathMatch,
+    TurboISOMatch,
+    UllmannMatch,
+    VF2Match,
+)
+from repro.core import CFLMatch
+from repro.graph import Graph
+from repro.workloads.paper_graphs import figure1_example, figure3_example
+from tests.conftest import brute_force_embeddings, nx_monomorphisms, random_instance
+
+ALL_FACTORIES = [
+    ("CFL-Match", lambda g: CFLMatch(g)),
+    ("CF-Match", lambda g: CFLMatch(g, mode="cf")),
+    ("Match", lambda g: CFLMatch(g, mode="match")),
+    ("CFL-Match-TD", lambda g: CFLMatch(g, cpi_mode="td")),
+    ("CFL-Match-Naive", lambda g: CFLMatch(g, cpi_mode="naive")),
+    ("CFL-Match-Boost", lambda g: BoostMatch(g)),
+    ("TurboISO-Boost", lambda g: BoostMatch(g, order_strategy="turbo")),
+    ("CFL-Match-Hierarchical", lambda g: CFLMatch(g, core_strategy="hierarchical")),
+    ("QuickSI", lambda g: QuickSIMatch(g)),
+    ("SPath", lambda g: SPathMatch(g)),
+    ("GraphQL", lambda g: GraphQLMatch(g)),
+    ("TurboISO", lambda g: TurboISOMatch(g)),
+    ("Ullmann", lambda g: UllmannMatch(g)),
+    ("VF2", lambda g: VF2Match(g)),
+]
+
+
+class TestAllMatchersAgree:
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_against_networkx_oracle(self, rng, name, factory):
+        for _ in range(10):
+            data, query = random_instance(rng)
+            got = set(factory(data).search(query))
+            assert got == nx_monomorphisms(query, data), name
+
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_against_brute_force_oracle(self, rng, name, factory):
+        for _ in range(6):
+            data, query = random_instance(rng, data_vertices=(5, 14), query_vertices=(2, 5))
+            got = set(factory(data).search(query))
+            assert got == brute_force_embeddings(query, data), name
+
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_figure3(self, name, factory):
+        ex = figure3_example()
+        assert len(set(factory(ex.data).search(ex.query))) == 3, name
+
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_figure1_small(self, name, factory):
+        ex = figure1_example(8, 12)
+        assert len(set(factory(ex.data).search(ex.query))) == 8, name
+
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_limit_respected(self, name, factory):
+        ex = figure1_example(20, 20)
+        assert len(list(factory(ex.data).search(ex.query, limit=5))) == 5, name
+
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_counts_agree(self, rng, name, factory):
+        for _ in range(5):
+            data, query = random_instance(rng)
+            expected = len(nx_monomorphisms(query, data))
+            assert factory(data).count(query) == expected, name
+
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_no_match_cases(self, name, factory):
+        data = Graph([0, 0, 1], [(0, 1), (1, 2)])
+        query = Graph([0, 1, 0], [(0, 1), (1, 2), (0, 2)])  # triangle absent
+        assert list(factory(data).search(query)) == [], name
+
+    @pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+    def test_run_reports(self, name, factory):
+        ex = figure3_example()
+        report = factory(ex.data).run(ex.query, collect=True)
+        assert report.embeddings == 3, name
+        assert report.results is not None
+        assert all(len(r) == ex.query.num_vertices for r in report.results)

@@ -1,0 +1,66 @@
+"""Unit tests for the QuickSI baseline."""
+
+import pytest
+
+from repro.baselines import QuickSIMatch, edge_label_frequencies
+from repro.graph import Graph
+
+
+class TestEdgeFrequencies:
+    def test_counts_unordered_label_pairs(self):
+        g = Graph([0, 1, 0, 1], [(0, 1), (2, 3), (0, 3)])
+        freq = edge_label_frequencies(g)
+        assert freq[(0, 1)] == 3
+
+    def test_distinct_pairs(self):
+        g = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        freq = edge_label_frequencies(g)
+        assert freq == {(0, 1): 1, (1, 2): 1}
+
+
+class TestQISequence:
+    def test_order_is_connected(self):
+        data = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3), (0, 3)])
+        query = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3), (0, 3)])
+        matcher = QuickSIMatch(data)
+        order, parent, earlier = matcher._prepare(query)
+        assert sorted(order) == [0, 1, 2, 3]
+        placed = {order[0]}
+        for u in order[1:]:
+            assert parent[u] in placed
+            placed.add(u)
+
+    def test_infrequent_edge_first(self):
+        """The spanning tree grows over the rarest label pair first."""
+        # data: label pair (0,1) appears 5 times, (1,2) once
+        data = Graph(
+            [0, 0, 0, 0, 0, 1, 2],
+            [(0, 5), (1, 5), (2, 5), (3, 5), (4, 5), (5, 6)],
+        )
+        # query triangle-free path 0(l0) - 1(l1) - 2(l2)
+        query = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        matcher = QuickSIMatch(data)
+        order, parent, _ = matcher._prepare(query)
+        # starts at the rarest label (l2 or l1, freq 1) and follows the
+        # infrequent (1,2) edge before the frequent (0,1) edge
+        assert order[0] in (1, 2)
+        assert set(order[:2]) == {1, 2}
+
+    def test_disconnected_query_rejected(self):
+        data = Graph([0, 0], [(0, 1)])
+        query = Graph([0, 0, 0], [(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            matcher = QuickSIMatch(data)
+            matcher._prepare(query)
+
+
+class TestSearch:
+    def test_simple_match(self):
+        data = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        query = Graph([0, 1], [(0, 1)])
+        assert set(QuickSIMatch(data).search(query)) == {(0, 1), (0, 2)}
+
+    def test_degree_filter_applies(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        assert list(QuickSIMatch(data).search(query)) == []

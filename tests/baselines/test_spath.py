@@ -1,0 +1,79 @@
+"""Unit tests for the SPath baseline."""
+
+import pytest
+
+from repro.baselines import SPathMatch
+from repro.graph import Graph
+from tests.conftest import brute_force_embeddings, nx_monomorphisms, random_instance
+
+
+class TestEstimation:
+    def test_expected_fanout_uses_label_statistics(self):
+        # 4 label-0 vertices; each adjacent to the single label-1 hub
+        data = Graph([0, 0, 0, 0, 1], [(0, 4), (1, 4), (2, 4), (3, 4)])
+        matcher = SPathMatch(data)
+        # a label-0 vertex has on average 1 label-1 neighbor
+        assert matcher._expected_fanout(0, 1) == pytest.approx(1.0)
+        # the label-1 hub has on average 4 label-0 neighbors
+        assert matcher._expected_fanout(1, 0) == pytest.approx(4.0)
+
+    def test_same_label_fanout_counts_both_directions(self):
+        data = Graph([0, 0], [(0, 1)])
+        matcher = SPathMatch(data)
+        assert matcher._expected_fanout(0, 0) == pytest.approx(1.0)
+
+    def test_missing_label_pair_is_zero(self):
+        data = Graph([0, 1], [(0, 1)])
+        matcher = SPathMatch(data)
+        assert matcher._expected_fanout(0, 5) == 0.0
+
+    def test_estimate_can_overestimate(self):
+        """The paper's point: the formula overestimates join cardinality."""
+        # star: hub 0 (label 1) with four label-0 leaves; no 0-0 edges,
+        # so the true count of the path 0-1-0 per ordered pair is 4*3=12,
+        # but the formula sees avg fanouts 1 and 4 -> freq(0)=4 *1*4 = 16.
+        data = Graph([0, 0, 0, 0, 1], [(0, 4), (1, 4), (2, 4), (3, 4)])
+        matcher = SPathMatch(data)
+        query = Graph([0, 1, 0], [(0, 1), (1, 2)])
+        estimate = matcher._estimate_path(query, [0, 1, 2])
+        exact = len(brute_force_embeddings(query, data))
+        assert estimate > exact
+
+
+class TestOrdering:
+    def test_paths_ordered_by_estimate(self):
+        # root label 2 (unique); branch A through rare labels, branch B
+        # through frequent ones -> A's vertices precede B's.
+        data = Graph(
+            [2, 3, 0, 0, 0, 0, 3],
+            [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6)],
+        )
+        query = Graph([2, 3, 0], [(0, 1), (0, 2)])
+        order, _parent, _ = SPathMatch(data)._prepare(query)
+        assert order[0] == 0
+        assert order[1] == 1  # the rare label-3 branch first
+
+    def test_disconnected_query_rejected(self):
+        data = Graph([0, 0], [(0, 1)])
+        query = Graph([0, 0, 0], [(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            SPathMatch(data)._prepare(query)
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, rng):
+        for _ in range(12):
+            data, query = random_instance(rng)
+            got = set(SPathMatch(data).search(query))
+            assert got == nx_monomorphisms(query, data)
+
+    def test_registered_in_harness(self):
+        from repro.bench import MATCHERS
+
+        assert "SPath" in MATCHERS
+
+    def test_nlf_signature_prunes(self):
+        # candidate hub lacks the required neighbor label mix
+        data = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        query = Graph([1, 0, 0], [(0, 1), (0, 2)])  # hub needs two label-0
+        assert list(SPathMatch(data).search(query)) == []

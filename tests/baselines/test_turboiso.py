@@ -1,0 +1,86 @@
+"""Unit tests for the TurboISO baseline, including its exponential CR."""
+
+import pytest
+
+from repro.baselines import TurboISOMatch, build_nec_tree
+from repro.core import CFLMatch
+from repro.core.core_match import SearchTimeout
+from repro.graph import Graph
+from repro.workloads.paper_graphs import figure17_turboiso_pathological
+
+
+class TestNECTree:
+    def test_leaf_siblings_merge(self):
+        # star with three same-label leaves
+        query = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        tree = build_nec_tree(query, 0)
+        assert len(tree.nodes) == 2
+        assert tree.nodes[1].members == (1, 2, 3)
+
+    def test_different_labels_stay_separate(self):
+        query = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        tree = build_nec_tree(query, 0)
+        assert len(tree.nodes) == 3
+
+    def test_internal_vertices_not_merged(self):
+        # two label-1 internal vertices with leaves below
+        query = Graph([0, 1, 1, 2, 2], [(0, 1), (0, 2), (1, 3), (2, 4)])
+        tree = build_nec_tree(query, 0)
+        internal = [n for n in tree.nodes if n.members and query.degree(n.members[0]) > 1]
+        assert all(len(n.members) == 1 for n in internal)
+
+    def test_non_tree_edges_recorded(self):
+        query = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        tree = build_nec_tree(query, 0)
+        total_nte = sum(len(lst) for lst in tree.non_tree_neighbors) // 2
+        assert total_nte == 1
+
+    def test_node_of_vertex_covers_query(self):
+        query = Graph([0, 1, 1, 2], [(0, 1), (0, 2), (1, 3)])
+        tree = build_nec_tree(query, 0)
+        assert set(tree.node_of_vertex) == set(query.vertices())
+
+
+class TestExponentialRegion:
+    def test_cr_budget_triggers_on_pathological_case(self):
+        """Section A.3: the near-clique blows up the CR materialization."""
+        ex = figure17_turboiso_pathological(n=7, big_n=20)
+        matcher = TurboISOMatch(ex.data, cr_node_budget=20_000)
+        with pytest.raises(SearchTimeout):
+            list(matcher.search(ex.query))
+
+    def test_cfl_match_handles_pathological_case(self):
+        """CFL-Match's polynomial CPI sails through the same instance."""
+        ex = figure17_turboiso_pathological(n=7, big_n=20)
+        report = CFLMatch(ex.data).run(ex.query, limit=10)
+        assert not report.timed_out
+        # the paper notes this instance has results only without the extra
+        # non-tree edge; the plain path query does embed
+        assert report.embeddings > 0
+
+    def test_generous_budget_completes(self):
+        ex = figure17_turboiso_pathological(n=4, big_n=10)
+        matcher = TurboISOMatch(ex.data, cr_node_budget=10_000_000)
+        expected = CFLMatch(ex.data).count(ex.query)
+        assert matcher.count(ex.query) == expected
+
+
+class TestSearchBasics:
+    def test_star_query_with_nec(self):
+        data = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        query = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        got = set(TurboISOMatch(data).search(query))
+        assert len(got) == 6  # P(3, 2) ordered pairs
+
+    def test_non_tree_edge_checked(self):
+        # query triangle; data square (no triangle)
+        data = Graph([0, 1, 2, 1], [(0, 1), (1, 2), (2, 3), (3, 0)])
+        query = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        assert list(TurboISOMatch(data).search(query)) == []
+
+    def test_start_vertex_rank(self):
+        """Start vertex minimizes freq(label)/degree."""
+        data = Graph([0, 0, 0, 1], [(0, 3), (1, 3), (2, 3)])
+        query = Graph([0, 1], [(0, 1)])
+        tree = TurboISOMatch(data)._prepare(query)
+        assert tree.root.members == (1,)  # label 1 is rarest

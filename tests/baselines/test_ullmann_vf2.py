@@ -1,0 +1,73 @@
+"""Unit tests for the Ullmann and VF2 baselines."""
+
+import pytest
+
+from repro.baselines import UllmannMatch, VF2Match
+from repro.graph import Graph
+
+
+class TestUllmann:
+    def test_refinement_prunes(self):
+        """Candidates lacking neighbor support are removed up front."""
+        # query edge (0:l0, 1:l1); data has an isolated l0 vertex
+        data = Graph([0, 1, 0], [(0, 1)])
+        matcher = UllmannMatch(data)
+        query = Graph([0, 1], [(0, 1)])
+        candidates = matcher._candidates(query)
+        assert candidates[0] == [0]  # vertex 2 pruned by refinement
+
+    def test_refinement_reaches_fixpoint(self):
+        # chain where pruning cascades: l0 - l1 - l2, data missing the l2
+        data = Graph([0, 1, 0, 1], [(0, 1), (2, 3)])
+        query = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        matcher = UllmannMatch(data)
+        assert all(not c for c in matcher._candidates(query))
+
+    def test_simple_search(self):
+        data = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        query = Graph([0, 1], [(0, 1)])
+        assert set(UllmannMatch(data).search(query)) == {(0, 1), (0, 2)}
+
+    def test_limit_zero(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1], [(0, 1)])
+        assert list(UllmannMatch(data).search(query, limit=0)) == []
+
+    def test_count(self):
+        data = Graph([0, 0], [(0, 1)])
+        query = Graph([0, 0], [(0, 1)])
+        assert UllmannMatch(data).count(query) == 2
+
+
+class TestVF2:
+    def test_simple_search(self):
+        data = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        query = Graph([0, 1], [(0, 1)])
+        assert set(VF2Match(data).search(query)) == {(0, 1), (0, 2)}
+
+    def test_lookahead_prunes(self):
+        """A candidate with too few free neighbors is rejected."""
+        # query star center needs 2 unmapped neighbors; data center has 1
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        assert list(VF2Match(data).search(query)) == []
+
+    def test_connected_order(self):
+        data = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        query = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        order, earlier = VF2Match(data)._prepare(query)
+        placed = {order[0]}
+        for i, u in enumerate(order[1:], start=1):
+            assert earlier[i], f"vertex {u} not connected to earlier order"
+            placed.add(u)
+
+    def test_disconnected_query_rejected(self):
+        data = Graph([0, 0], [(0, 1)])
+        query = Graph([0, 0, 0], [(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            VF2Match(data)._prepare(query)
+
+    def test_triangle_count_in_k4(self):
+        data = Graph([0] * 4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        query = Graph([0] * 3, [(0, 1), (1, 2), (0, 2)])
+        assert VF2Match(data).count(query) == 24

@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import save_graph
+from repro.workloads.paper_graphs import figure3_example
+
+
+@pytest.fixture
+def graph_files(tmp_path):
+    ex = figure3_example()
+    data_path = tmp_path / "data.graph"
+    query_path = tmp_path / "query.graph"
+    save_graph(ex.data, data_path)
+    save_graph(ex.query, query_path)
+    return str(data_path), str(query_path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_args(self):
+        args = build_parser().parse_args(
+            ["match", "--data", "d", "--query", "q", "--limit", "5"]
+        )
+        assert args.limit == 5
+        assert args.algorithm == "CFL-Match"
+
+
+class TestCommands:
+    def test_match_prints_embeddings(self, graph_files, capsys):
+        data, query = graph_files
+        assert main(["match", "--data", data, "--query", query]) == 0
+        out = capsys.readouterr().out
+        assert "# 3 embedding(s)" in out
+        assert out.count("u0->") == 3
+
+    def test_match_quiet(self, graph_files, capsys):
+        data, query = graph_files
+        main(["match", "--data", data, "--query", query, "--quiet"])
+        out = capsys.readouterr().out
+        assert "u0->" not in out
+        assert "# 3 embedding(s)" in out
+
+    def test_match_with_baseline(self, graph_files, capsys):
+        data, query = graph_files
+        main(["match", "--data", data, "--query", query, "--algorithm", "QuickSI", "--quiet"])
+        assert "[QuickSI]" in capsys.readouterr().out
+
+    def test_count(self, graph_files, capsys):
+        data, query = graph_files
+        assert main(["count", "--data", data, "--query", query]) == 0
+        assert capsys.readouterr().out.startswith("3 embedding(s)")
+
+    def test_count_with_limit_marks_saturation(self, graph_files, capsys):
+        data, query = graph_files
+        main(["count", "--data", data, "--query", query, "--limit", "2"])
+        assert capsys.readouterr().out.startswith("2+")
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "hprd" in out and "9460" in out
+
+    def test_experiment_writes_output(self, tmp_path, capsys, monkeypatch):
+        # patch in an instant experiment to keep the test fast
+        from repro.bench import experiments
+
+        def fake(profile):
+            return experiments.ExperimentResult("fig01", "t", [("s", "table")], {})
+
+        monkeypatch.setitem(experiments.EXPERIMENTS, "fig01", fake)
+        monkeypatch.setattr("repro.cli.run_experiment", lambda n, p: fake(None))
+        out_dir = tmp_path / "results"
+        assert main(["experiment", "fig01", "--out", str(out_dir)]) == 0
+        assert (out_dir / "fig01.txt").exists()
+        assert "fig01" in capsys.readouterr().out

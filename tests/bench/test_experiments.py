@@ -1,0 +1,131 @@
+"""Smoke tests for the experiment registry (fast settings only)."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, PROFILES, run_experiment
+from repro.bench.experiments import Profile
+
+#: Ultra-fast profile for CI: smallest graphs, 1-2 queries, tiny budgets.
+FAST = Profile(
+    name="test", dataset_scale="tiny",
+    query_sizes=(4, 5, 6, 7), human_query_sizes=(4, 5, 6, 7),
+    queries_per_set=1, limit=20, set_budget_s=10.0,
+    sweep_vertices=(120, 240), sweep_base_vertices=150,
+)
+
+
+class TestRegistry:
+    def test_every_planned_experiment_registered(self):
+        expected = {
+            "fig01", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "tab04", "fig20", "fig21", "fig22",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_profiles_exist(self):
+        assert {"smoke", "small", "paper"} <= set(PROFILES)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig01", "galactic")
+
+
+class TestFig01:
+    def test_cost_model_gap(self):
+        result = EXPERIMENTS["fig01"](FAST)
+        raw = result.raw["t_iso"]
+        assert raw["bad"] > raw["good"]
+        assert "fig01" in result.render()
+
+
+class TestQuickExperiments:
+    """Each experiment runs end-to-end on the FAST profile and renders."""
+
+    def test_fig08_shape(self):
+        result = EXPERIMENTS["fig08"](FAST, datasets=("yeast",))
+        assert len(result.sections) == 1
+        series = result.raw["yeast"]["series"]
+        assert set(series) == {"QuickSI", "TurboISO", "CFL-Match"}
+        assert len(series["CFL-Match"]) == 8  # 4 sizes x {S, N}
+        rendered = result.render()
+        assert "q4S" in rendered and "q7N" in rendered
+
+    def test_fig10_ordering_only(self):
+        result = EXPERIMENTS["fig10"](FAST, datasets=("yeast",))
+        assert set(result.raw["yeast"]["series"]) == {"TurboISO", "CFL-Match"}
+
+    def test_fig11_core_structures(self):
+        result = EXPERIMENTS["fig11"](FAST, datasets=("yeast",))
+        assert result.sections
+
+    def test_fig12_limits_increase(self):
+        result = EXPERIMENTS["fig12"](FAST, datasets=("yeast",))
+        raw = result.raw["yeast"]
+        assert raw["limits"] == sorted(raw["limits"])
+
+    def test_fig13_reports_compression_ratio(self):
+        result = EXPERIMENTS["fig13"](FAST, datasets=("yeast",))
+        assert 0.0 <= result.raw["yeast"]["ratio"] < 1.0
+
+    def test_fig14_variants(self):
+        result = EXPERIMENTS["fig14"](FAST, datasets=("yeast",))
+        assert set(result.raw["yeast"]["series"]) == {"Match", "CF-Match", "CFL-Match"}
+
+    def test_fig15_cpi_strategies(self):
+        result = EXPERIMENTS["fig15"](FAST, datasets=("yeast",))
+        assert set(result.raw["yeast"]["series"]) == {
+            "CFL-Match-Naive", "CFL-Match-TD", "CFL-Match",
+        }
+
+    def test_tab04_counts(self):
+        result = EXPERIMENTS["tab04"](FAST, datasets=("yeast",))
+        per_set = result.raw["yeast"]
+        assert len(per_set) == 8
+        for avg, compressed in per_set.values():
+            assert avg >= 0
+            assert 0 <= compressed <= FAST.queries_per_set
+
+    def test_fig22_classes(self):
+        result = EXPERIMENTS["fig22"](FAST, datasets=("yeast",))
+        classes = result.raw["yeast"]["classes"]
+        assert "random" in classes
+
+    def test_fig09_enumeration_metric(self):
+        result = EXPERIMENTS["fig09"](FAST, datasets=("yeast",))
+        assert set(result.raw["yeast"]["series"]) == {
+            "QuickSI", "TurboISO", "CFL-Match",
+        }
+
+    def test_fig16_scalability_shapes(self):
+        result = EXPERIMENTS["fig16"](FAST)
+        raw = result.raw
+        assert set(raw) == {"vary_vertices", "vary_degree", "vary_labels"}
+        assert len(raw["vary_vertices"]["total_ms"]) == len(FAST.sweep_vertices)
+        assert len(raw["vary_labels"]["index_size"]) == 4
+        assert all(size > 0 for size in raw["vary_labels"]["index_size"])
+
+    def test_fig20_split_series(self):
+        result = EXPERIMENTS["fig20"](FAST, datasets=("yeast",))
+        series = result.raw["yeast"]["series"]
+        assert "CFL-Match (ordering)" in series
+        assert "TurboISO (enumeration)" in series
+
+    def test_fig21_includes_boost(self):
+        result = EXPERIMENTS["fig21"](FAST, datasets=("yeast",))
+        assert "TurboISO-Boost" in result.raw["yeast"]["series"]
+
+    def test_fig14_has_count_view(self):
+        result = EXPERIMENTS["fig14"](FAST, datasets=("yeast",))
+        raw = result.raw["yeast"]
+        assert set(raw["count_series"]) == {"Match", "CF-Match", "CFL-Match"}
+        assert len(result.sections) == 2
+
+    def test_run_experiment_dispatch(self):
+        from repro.bench import run_experiment
+
+        result = run_experiment("fig01", "smoke")
+        assert result.name == "fig01"

@@ -1,0 +1,83 @@
+"""Unit tests for the benchmark harness."""
+
+import math
+
+import pytest
+
+from repro.bench import INF, MATCHERS, format_ms, make_matcher, run_algorithms, run_query_set
+from repro.graph import Graph
+from repro.workloads.paper_graphs import figure3_example
+
+
+@pytest.fixture
+def simple_workload():
+    ex = figure3_example()
+    return ex.data, [ex.query, ex.query]
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        for name in (
+            "CFL-Match", "CF-Match", "Match", "CFL-Match-TD", "CFL-Match-Naive",
+            "CFL-Match-Boost", "TurboISO", "TurboISO-Boost", "QuickSI",
+        ):
+            assert name in MATCHERS
+
+    def test_make_matcher(self):
+        g = Graph([0], [])
+        matcher = make_matcher("CFL-Match", g)
+        assert matcher.name == "CFL-Match"
+
+    def test_unknown_matcher(self):
+        with pytest.raises(KeyError):
+            make_matcher("NotAnAlgorithm", Graph([0], []))
+
+
+class TestRunQuerySet:
+    def test_aggregates(self, simple_workload):
+        data, queries = simple_workload
+        result = run_query_set(make_matcher("CFL-Match", data), queries, 10, 30.0, "q5S")
+        assert result.queries_run == 2
+        assert not result.timed_out
+        assert result.avg_embeddings == 3
+        assert result.avg_total_ms > 0
+        assert result.avg_total_ms != INF
+        assert result.avg_ordering_ms + result.avg_enumeration_ms == pytest.approx(
+            result.avg_total_ms
+        )
+        assert result.avg_index_size > 0
+
+    def test_exhausted_budget_is_inf(self, simple_workload):
+        data, queries = simple_workload
+        result = run_query_set(make_matcher("CFL-Match", data), queries, 10, 0.0, "q5S")
+        assert result.timed_out
+        assert result.avg_total_ms == INF
+        assert math.isinf(result.avg_enumeration_ms)
+
+    def test_empty_reports_give_inf(self):
+        from repro.bench.harness import QuerySetResult
+
+        empty = QuerySetResult(algorithm="X", query_set="q")
+        assert empty.avg_total_ms == INF
+        assert empty.avg_embeddings == 0.0
+
+
+class TestRunAlgorithms:
+    def test_cross_product(self, simple_workload):
+        data, queries = simple_workload
+        results = run_algorithms(
+            data, ["CFL-Match", "QuickSI"], {"a": queries, "b": queries}, 10, 30.0
+        )
+        assert len(results) == 4
+        assert {(r.algorithm, r.query_set) for r in results} == {
+            ("CFL-Match", "a"), ("CFL-Match", "b"),
+            ("QuickSI", "a"), ("QuickSI", "b"),
+        }
+
+
+class TestFormatting:
+    def test_format_ms(self):
+        assert format_ms(INF) == "INF"
+        assert format_ms(123.4) == "123"
+        assert format_ms(12.34) == "12.3"
+        assert format_ms(0.1234) == "0.123"

@@ -1,0 +1,62 @@
+"""Registry-wide conformance: every registered matcher honors the
+uniform API contract on shared fixtures."""
+
+import pytest
+
+from repro.bench import MATCHERS, make_matcher
+from repro.workloads.paper_graphs import figure1_example, figure3_example
+
+ALL_NAMES = sorted(MATCHERS)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3_example()
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_example(12, 15)
+
+
+class TestRegistryConformance:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_search_finds_exactly_the_three_embeddings(self, name, fig3):
+        matcher = make_matcher(name, fig3.data)
+        assert len(set(matcher.search(fig3.query))) == 3
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_count_agrees_with_search(self, name, fig1):
+        matcher = make_matcher(name, fig1.data)
+        assert matcher.count(fig1.query) == 12
+        assert sum(1 for _ in matcher.search(fig1.query)) == 12
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_limit_truncates(self, name, fig1):
+        matcher = make_matcher(name, fig1.data)
+        assert len(list(matcher.search(fig1.query, limit=4))) == 4
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_run_report_contract(self, name, fig3):
+        matcher = make_matcher(name, fig3.data)
+        report = matcher.run(fig3.query, limit=10, collect=True)
+        assert report.embeddings == 3
+        assert report.results is not None and len(report.results) == 3
+        assert report.ordering_time >= 0.0
+        assert report.enumeration_time >= 0.0
+        assert not report.timed_out
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_matcher_exposes_name(self, name, fig3):
+        matcher = make_matcher(name, fig3.data)
+        assert isinstance(matcher.name, str) and matcher.name
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_no_match_is_empty_not_error(self, name):
+        from repro.graph import Graph
+
+        data = Graph([0, 0, 1], [(0, 1), (1, 2)])
+        query = Graph([5, 6], [(0, 1)])
+        matcher = make_matcher(name, data)
+        assert list(matcher.search(query)) == []
+        assert matcher.count(query) == 0

@@ -1,0 +1,43 @@
+"""Unit tests for result rendering."""
+
+from repro.bench import INF, format_table, series_table, speedup
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "v"], [["a", "1"], ["longer", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "longer" in lines[3]
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["x"], [["wide-cell-value"]])
+        assert "wide-cell-value" in text
+
+
+class TestSeriesTable:
+    def test_rows_and_columns(self):
+        text = series_table("q", ["q1", "q2"], {"A": [1.0, 2.0], "B": [3.0, INF]})
+        assert "q1" in text and "q2" in text
+        assert "INF" in text
+
+    def test_missing_values_dashed(self):
+        text = series_table("q", ["q1", "q2"], {"A": [1.0]})
+        assert text.splitlines()[-1].strip().endswith("-")
+
+    def test_custom_formatter(self):
+        text = series_table("x", ["a"], {"s": [1234.0]}, value_formatter=lambda v: f"{v:.0f}!")
+        assert "1234!" in text
+
+
+class TestSpeedup:
+    def test_regular_ratio(self):
+        assert speedup(100.0, 10.0) == "10.0x"
+
+    def test_inf_cases(self):
+        assert speedup(INF, 5.0) == ">INF"
+        assert speedup(INF, INF) == "-"
+        assert speedup(10.0, INF) == "-"
+        assert speedup(10.0, 0) == "-"

@@ -1,0 +1,111 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+import pytest
+
+from repro.graph import Graph, random_connected_graph
+
+
+def nx_monomorphisms(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
+    """Ground-truth embeddings via networkx (independent oracle).
+
+    Returns tuples ``m`` with ``m[u]`` = data vertex of query vertex u.
+    """
+    import networkx as nx
+
+    gq = nx.Graph()
+    for u in query.vertices():
+        gq.add_node(u, label=query.label(u))
+    gq.add_edges_from(query.edges())
+    gd = nx.Graph()
+    for v in data.vertices():
+        gd.add_node(v, label=data.label(v))
+    gd.add_edges_from(data.edges())
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        gd, gq, node_match=lambda a, b: a["label"] == b["label"]
+    )
+    result: Set[Tuple[int, ...]] = set()
+    for mapping in matcher.subgraph_monomorphisms_iter():
+        inverse = {qv: dv for dv, qv in mapping.items()}
+        result.add(tuple(inverse[u] for u in query.vertices()))
+    return result
+
+
+def brute_force_embeddings(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
+    """Tiny-instance oracle written independently of all matchers."""
+    n = query.num_vertices
+    result: Set[Tuple[int, ...]] = set()
+
+    def extend(mapping: List[int], used: Set[int]) -> None:
+        u = len(mapping)
+        if u == n:
+            result.add(tuple(mapping))
+            return
+        for v in data.vertices():
+            if v in used or data.label(v) != query.label(u):
+                continue
+            if all(
+                data.has_edge(mapping[w], v)
+                for w in query.neighbors(u)
+                if w < u
+            ):
+                mapping.append(v)
+                used.add(v)
+                extend(mapping, used)
+                mapping.pop()
+                used.remove(v)
+
+    extend([], set())
+    return result
+
+
+def random_instance(
+    rng: random.Random,
+    data_vertices: Tuple[int, int] = (8, 26),
+    query_vertices: Tuple[int, int] = (2, 7),
+    num_labels: Tuple[int, int] = (2, 5),
+) -> Tuple[Graph, Graph]:
+    """A (data, query) pair of random connected labeled graphs."""
+    data = random_connected_graph(
+        rng.randrange(*data_vertices), rng.randrange(0, 20),
+        rng.randrange(*num_labels), rng,
+    )
+    query = random_connected_graph(
+        rng.randrange(*query_vertices), rng.randrange(0, 4),
+        rng.randrange(2, 4), rng,
+    )
+    return data, query
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20160626)  # SIGMOD'16 started June 26, 2016
+
+
+@pytest.fixture
+def triangle_query() -> Graph:
+    """A labeled triangle: the smallest query with a non-trivial core."""
+    return Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_query() -> Graph:
+    """A labeled 3-path (a tree query: empty 2-core)."""
+    return Graph([0, 1, 0], [(0, 1), (1, 2)])
+
+
+@pytest.fixture
+def small_data() -> Graph:
+    """Ten-vertex data graph with repeated labels and a few triangles."""
+    return Graph(
+        [0, 1, 2, 0, 1, 2, 0, 1, 2, 0],
+        [
+            (0, 1), (1, 2), (0, 2),
+            (2, 3), (3, 4), (4, 5), (3, 5),
+            (5, 6), (6, 7), (7, 8), (6, 8), (8, 9), (9, 0),
+        ],
+    )

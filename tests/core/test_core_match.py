@@ -1,0 +1,153 @@
+"""Unit tests for the CPI backtracking engine (Algorithm 5)."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    CPIBacktracker,
+    SearchStats,
+    build_cpi,
+    build_ordered_vertices,
+    order_structure,
+    validate_embedding,
+)
+from repro.core.core_match import SearchTimeout
+from repro.graph import Graph
+from tests.conftest import brute_force_embeddings
+
+
+def _engine_embeddings(query, data, check_non_tree=True):
+    cpi = build_cpi(query, data, 0)
+    if cpi.is_empty():
+        return set()
+    order = order_structure(cpi, 0, set(query.vertices()))
+    slots = build_ordered_vertices(cpi, order, check_non_tree=check_non_tree)
+    engine = CPIBacktracker(cpi, slots)
+    mapping = [-1] * query.num_vertices
+    used = bytearray(data.num_vertices)
+    out = set()
+    for _ in engine.extend(mapping, used):
+        out.add(tuple(mapping))
+    return out
+
+
+class TestBacktracker:
+    def test_triangle_in_triangle(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        assert _engine_embeddings(triangle_query, data) == {(0, 1, 2)}
+
+    def test_no_match_wrong_topology(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2)])  # path, no triangle
+        assert _engine_embeddings(triangle_query, data) == set()
+
+    def test_matches_brute_force(self, rng):
+        from tests.conftest import random_instance
+
+        for _ in range(25):
+            data, query = random_instance(rng)
+            assert _engine_embeddings(query, data) == brute_force_embeddings(query, data)
+
+    def test_state_restored_after_exhaustion(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        cpi = build_cpi(triangle_query, data, 0)
+        order = order_structure(cpi, 0, {0, 1, 2})
+        slots = build_ordered_vertices(cpi, order)
+        engine = CPIBacktracker(cpi, slots)
+        mapping = [-1, -1, -1]
+        used = bytearray(3)
+        for _ in engine.extend(mapping, used):
+            pass
+        assert mapping == [-1, -1, -1]
+        assert bytes(used) == b"\x00\x00\x00"
+
+    def test_empty_order_yields_once(self):
+        data = Graph([0], [])
+        query = Graph([0], [])
+        cpi = build_cpi(query, data, 0)
+        engine = CPIBacktracker(cpi, [])
+        assert sum(1 for _ in engine.extend([-1], bytearray(1))) == 1
+
+    def test_stats_count_nodes(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        cpi = build_cpi(triangle_query, data, 0)
+        order = order_structure(cpi, 0, {0, 1, 2})
+        slots = build_ordered_vertices(cpi, order)
+        stats = SearchStats()
+        engine = CPIBacktracker(cpi, slots, stats)
+        for _ in engine.extend([-1, -1, -1], bytearray(3)):
+            pass
+        assert stats.nodes == 3  # one candidate per slot
+
+    def test_stats_merge(self):
+        merged = SearchStats(nodes=2, embeddings=1).merged_with(
+            SearchStats(nodes=3, embeddings=4)
+        )
+        assert merged.nodes == 5
+        assert merged.embeddings == 5
+
+    def test_deadline_raises(self):
+        """A deadline in the past aborts promptly via SearchTimeout."""
+        # A dense same-label instance with a huge search space.
+        n = 14
+        data = Graph([0] * n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        query = Graph([0] * 8, [(i, j) for i in range(8) for j in range(i + 1, 8)])
+        cpi = build_cpi(query, data, 0)
+        order = order_structure(cpi, 0, set(query.vertices()))
+        slots = build_ordered_vertices(cpi, order)
+        engine = CPIBacktracker(cpi, slots, deadline=time.perf_counter() - 1.0)
+        with pytest.raises(SearchTimeout):
+            for _ in engine.extend([-1] * 8, bytearray(n)):
+                pass
+
+
+class TestBuildOrderedVertices:
+    def test_first_slot_has_no_parent(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        cpi = build_cpi(triangle_query, data, 0)
+        slots = build_ordered_vertices(cpi, [0, 1, 2])
+        assert slots[0].tree_parent is None
+        assert slots[1].tree_parent == 0
+
+    def test_backward_neighbors_collected(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        cpi = build_cpi(triangle_query, data, 0)
+        slots = build_ordered_vertices(cpi, [0, 1, 2])
+        # the triangle has one non-tree edge; it appears at the later slot
+        backward = [s.backward_neighbors for s in slots]
+        assert backward[0] == ()
+        assert sum(len(b) for b in backward) == 1
+
+    def test_check_non_tree_false_drops_backward(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        cpi = build_cpi(triangle_query, data, 0)
+        slots = build_ordered_vertices(cpi, [0, 1, 2], check_non_tree=False)
+        assert all(s.backward_neighbors == () for s in slots)
+
+    def test_already_mapped_enables_parent(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        cpi = build_cpi(triangle_query, data, 0)
+        slots = build_ordered_vertices(cpi, [1], already_mapped=[0])
+        assert slots[0].tree_parent == 0
+
+
+class TestValidateEmbedding:
+    def test_accepts_valid(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        assert validate_embedding(triangle_query, data, (0, 1, 2))
+
+    def test_rejects_non_injective(self, path_query):
+        data = Graph([0, 1], [(0, 1)])
+        assert not validate_embedding(path_query, data, (0, 1, 0))
+
+    def test_rejects_label_mismatch(self, triangle_query):
+        data = Graph([0, 1, 1], [(0, 1), (1, 2), (0, 2)])
+        assert not validate_embedding(triangle_query, data, (0, 1, 2))
+
+    def test_rejects_missing_edge(self, triangle_query):
+        data = Graph([0, 1, 2, 2], [(0, 1), (1, 2), (0, 3)])
+        assert not validate_embedding(triangle_query, data, (0, 1, 2))
+
+    def test_rejects_out_of_range(self, path_query):
+        data = Graph([0, 1, 0], [(0, 1), (1, 2)])
+        assert not validate_embedding(path_query, data, (0, 1, 99))

@@ -1,0 +1,93 @@
+"""Unit tests for the Section 2.1 cost model — including the paper's
+headline numbers T_iso = 200302 vs T'_iso = 2302 (Section 3)."""
+
+import pytest
+
+from repro.core import evaluate_order_cost
+from repro.graph import Graph, GraphError
+from repro.workloads.paper_graphs import figure1_example, figure3_example
+
+
+def _figure1_parents(ex):
+    parent = [None] * 6
+    for child, par in (("u2", "u1"), ("u3", "u2"), ("u4", "u3"), ("u5", "u1"), ("u6", "u5")):
+        parent[ex.q(child)] = ex.q(par)
+    return parent
+
+
+class TestFigure1Numbers:
+    def test_paper_order_costs(self):
+        """Section 3: 200302 for the edge/path order, 2302 for CFL's."""
+        ex = figure1_example(100, 1000)
+        parent = _figure1_parents(ex)
+        bad = evaluate_order_cost(
+            ex.query, ex.data, [ex.q(n) for n in ("u1", "u2", "u3", "u4", "u5", "u6")], parent
+        )
+        good = evaluate_order_cost(
+            ex.query, ex.data, [ex.q(n) for n in ("u1", "u2", "u5", "u3", "u4", "u6")], parent
+        )
+        assert bad.total == 200302
+        assert good.total == 2302
+
+    def test_paper_search_breadths(self):
+        """Section 3: B_1..B_5 = 1, 1, 100, 100, 100 for the bad order."""
+        ex = figure1_example(100, 1000)
+        parent = _figure1_parents(ex)
+        breakdown = evaluate_order_cost(
+            ex.query, ex.data, [ex.q(n) for n in ("u1", "u2", "u3", "u4", "u5", "u6")], parent
+        )
+        assert breakdown.breadths == [1, 1, 100, 100, 100, 100]
+
+    def test_non_tree_counts(self):
+        ex = figure1_example(10, 10)
+        parent = _figure1_parents(ex)
+        breakdown = evaluate_order_cost(
+            ex.query, ex.data, [ex.q(n) for n in ("u1", "u2", "u3", "u4", "u5", "u6")], parent
+        )
+        # only u5 carries the non-tree edge (u2, u5) in this order
+        assert breakdown.non_tree_counts == [0, 0, 0, 0, 1, 0]
+
+
+class TestExample21:
+    def test_r_values(self):
+        """Example 2.1: r_3 = 0 and r_4 = 1 for order (u1..u5)."""
+        ex = figure3_example()
+        parent = [None] * 5
+        parent[ex.q("u2")] = ex.q("u1")
+        parent[ex.q("u3")] = ex.q("u1")
+        parent[ex.q("u4")] = ex.q("u2")
+        parent[ex.q("u5")] = ex.q("u3")
+        order = [ex.q(n) for n in ("u1", "u2", "u3", "u4", "u5")]
+        breakdown = evaluate_order_cost(ex.query, ex.data, order, parent)
+        assert breakdown.non_tree_counts[2] == 0  # r_3
+        assert breakdown.non_tree_counts[3] == 1  # r_4
+        # final breadth = the number of embeddings (3, Section 2)
+        assert breakdown.breadths[-1] == 3
+
+
+class TestValidation:
+    def _simple(self):
+        query = Graph([0, 1], [(0, 1)])
+        data = Graph([0, 1], [(0, 1)])
+        return query, data
+
+    def test_empty_order_rejected(self):
+        query, data = self._simple()
+        with pytest.raises(GraphError, match="empty"):
+            evaluate_order_cost(query, data, [], [None, 0])
+
+    def test_incomplete_order_rejected(self):
+        query, data = self._simple()
+        with pytest.raises(GraphError, match="cover"):
+            evaluate_order_cost(query, data, [0], [None, 0])
+
+    def test_first_vertex_with_parent_rejected(self):
+        query, data = self._simple()
+        with pytest.raises(GraphError, match="first"):
+            evaluate_order_cost(query, data, [1, 0], [None, 0])
+
+    def test_parent_must_precede(self):
+        query = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        data = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        with pytest.raises(GraphError, match="precede"):
+            evaluate_order_cost(query, data, [0, 1, 2], [None, 2, 0])

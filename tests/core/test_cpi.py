@@ -1,0 +1,123 @@
+"""Unit tests for the CPI structure and QueryBFSTree (Section 4.1)."""
+
+import pytest
+
+from repro.core import build_cpi
+from repro.core.cpi import QueryBFSTree
+from repro.graph import Graph, GraphError
+from repro.workloads.paper_graphs import figure5_example, figure7_example
+
+
+class TestQueryBFSTree:
+    def test_figure7_levels(self):
+        ex = figure7_example()
+        tree = QueryBFSTree.build(ex.query, ex.q("u0"))
+        level_names = [
+            sorted(u for u in lvl) for lvl in tree.levels
+        ]
+        assert level_names == [
+            [ex.q("u0")],
+            sorted([ex.q("u1"), ex.q("u2")]),
+            [ex.q("u3")],
+        ]
+        assert tree.parent[ex.q("u0")] is None
+        assert tree.parent[ex.q("u1")] == ex.q("u0")
+        assert tree.parent[ex.q("u3")] == ex.q("u1")  # BFS visits u1 first
+
+    def test_figure7_nte_classification(self):
+        """(u1, u2) is an S-NTE, (u2, u3) a C-NTE (Definition 5.1)."""
+        ex = figure7_example()
+        tree = QueryBFSTree.build(ex.query, ex.q("u0"))
+        u1, u2, u3 = ex.q("u1"), ex.q("u2"), ex.q("u3")
+        assert tree.is_same_level_nte(u1, u2)
+        assert tree.is_cross_level_nte(u2, u3)
+        assert not tree.is_same_level_nte(u2, u3)
+        assert not tree.is_cross_level_nte(u1, u2)
+        # tree edges are neither
+        assert tree.is_tree_edge(ex.q("u0"), u1)
+        assert not tree.is_same_level_nte(ex.q("u0"), u1)
+
+    def test_non_tree_edge_counts(self):
+        ex = figure7_example()
+        tree = QueryBFSTree.build(ex.query, ex.q("u0"))
+        assert tree.non_tree_edge_count(ex.q("u0")) == 0
+        assert tree.non_tree_edge_count(ex.q("u1")) == 1
+        assert tree.non_tree_edge_count(ex.q("u2")) == 2
+
+    def test_root_to_leaf_paths(self):
+        g = Graph([0, 1, 2, 3, 4], [(0, 1), (0, 2), (1, 3), (1, 4)])
+        tree = QueryBFSTree.build(g, 0)
+        assert tree.root_to_leaf_paths() == [[0, 1, 3], [0, 1, 4], [0, 2]]
+
+    def test_root_to_leaf_paths_restricted(self):
+        g = Graph([0, 1, 2, 3, 4], [(0, 1), (0, 2), (1, 3), (1, 4)])
+        tree = QueryBFSTree.build(g, 0)
+        assert tree.root_to_leaf_paths({0, 1, 3}) == [[0, 1, 3]]
+        with pytest.raises(GraphError):
+            tree.root_to_leaf_paths({1, 3})
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(GraphError, match="connected"):
+            QueryBFSTree.build(Graph([0, 0, 0], [(0, 1)]), 0)
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(GraphError, match="range"):
+            QueryBFSTree.build(Graph([0], []), 5)
+
+
+class TestCPIStructure:
+    def test_figure5_candidate_sets(self):
+        """The definitional example: all A-vertices vs all B-vertices."""
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        assert sorted(cpi.candidate_list(ex.q("u0"))) == [ex.v(f"v{i}") for i in range(5)]
+        assert sorted(cpi.candidate_list(ex.q("u1"))) == [ex.v(f"v{i}") for i in range(5, 10)]
+
+    def test_figure5_adjacency_matches_data_graph(self):
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        u1 = ex.q("u1")
+        assert cpi.child_candidates(u1, ex.v("v0")) == sorted([ex.v("v5"), ex.v("v8")])
+        assert cpi.child_candidates(u1, ex.v("v1")) == [ex.v("v6")]
+        # every CPI edge exists in the data graph
+        for v_p, row in cpi.adjacency[u1].items():
+            for v in row:
+                assert ex.data.has_edge(v_p, v)
+
+    def test_size_counts_candidates_and_edges(self):
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        # 5 + 5 candidates + 6 adjacency entries
+        assert cpi.size() == 16
+
+    def test_size_bound(self, rng):
+        """|CPI| <= |V(q)| * (|V(G)| + |E(G)|)  (Section 4.1 bound)."""
+        from repro.graph import random_connected_graph
+
+        for _ in range(20):
+            data = random_connected_graph(rng.randrange(5, 25), rng.randrange(0, 20), 3, rng)
+            query = random_connected_graph(rng.randrange(2, 6), rng.randrange(0, 3), 2, rng)
+            cpi = build_cpi(query, data, 0)
+            bound = query.num_vertices * (data.num_vertices + data.num_edges)
+            assert cpi.size() <= bound
+
+    def test_is_empty(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([5, 6], [(0, 1)])  # labels absent from data
+        cpi = build_cpi(query, data, 0)
+        assert cpi.is_empty()
+
+    def test_candidate_counts(self):
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        assert cpi.candidate_counts() == [5, 5]
+
+    def test_child_candidates_missing_parent(self):
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        assert cpi.child_candidates(ex.q("u1"), 999) == []
+
+    def test_repr(self):
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        assert "CPI(" in repr(cpi)

@@ -1,0 +1,94 @@
+"""Tests for the vectorized CPI builder (numpy fast path)."""
+
+import pytest
+
+from repro.core import CFLMatch, build_cpi
+from repro.core.cpi_builder_numpy import _NumpyBuildState, build_cpi_numpy
+from repro.core.filters import cand_verify
+from repro.graph import Graph
+from repro.workloads.paper_graphs import figure7_example
+from tests.conftest import nx_monomorphisms, random_instance
+
+
+class TestEquivalence:
+    def test_identical_to_reference_on_figure7(self):
+        ex = figure7_example()
+        for refine in (False, True):
+            reference = build_cpi(ex.query, ex.data, ex.q("u0"), refine=refine)
+            fast = build_cpi_numpy(ex.query, ex.data, ex.q("u0"), refine=refine)
+            assert fast.candidates == reference.candidates
+            assert fast.adjacency == reference.adjacency
+
+    def test_identical_on_random_instances(self, rng):
+        for _ in range(30):
+            data, query = random_instance(rng)
+            for refine in (False, True):
+                reference = build_cpi(query, data, 0, refine=refine)
+                fast = build_cpi_numpy(query, data, 0, refine=refine)
+                assert fast.candidates == reference.candidates
+                assert fast.adjacency == reference.adjacency
+
+    def test_verify_none(self):
+        ex = figure7_example()
+        reference = build_cpi(ex.query, ex.data, ex.q("u0"), verify=None)
+        fast = build_cpi_numpy(ex.query, ex.data, ex.q("u0"), verify=None)
+        assert fast.candidates == reference.candidates
+
+    def test_custom_verify_callback(self):
+        ex = figure7_example()
+        custom = lambda q, g, u, v: v % 2 == 0  # arbitrary predicate
+        reference = build_cpi(ex.query, ex.data, ex.q("u0"), verify=custom)
+        fast = build_cpi_numpy(ex.query, ex.data, ex.q("u0"), verify=custom)
+        assert fast.candidates == reference.candidates
+
+
+class TestGatherNeighbors:
+    def _state(self, graph):
+        query = Graph([0], [])
+        return _NumpyBuildState(query, graph, cand_verify)
+
+    def test_gather_matches_adjacency(self):
+        g = Graph([0, 0, 0, 0], [(0, 1), (0, 2), (1, 2), (2, 3)])
+        state = self._state(g)
+        gathered = state.gather_neighbors([0, 2])
+        assert sorted(int(x) for x in gathered) == sorted(
+            g.neighbors(0) + g.neighbors(2)
+        )
+
+    def test_gather_empty_input(self):
+        g = Graph([0, 0], [(0, 1)])
+        state = self._state(g)
+        assert state.gather_neighbors([]).size == 0
+
+    def test_gather_isolated_vertices(self):
+        g = Graph([0, 0, 0], [(0, 1)])
+        state = self._state(g)
+        assert state.gather_neighbors([2]).size == 0
+        assert state.gather_neighbors([2, 0]).tolist() == [1]
+
+
+class TestMatcherIntegration:
+    def test_numpy_matcher_matches_oracle(self, rng):
+        for _ in range(10):
+            data, query = random_instance(rng)
+            got = set(CFLMatch(data, cpi_impl="numpy").search(query))
+            assert got == nx_monomorphisms(query, data)
+
+    def test_invalid_impl_rejected(self):
+        with pytest.raises(ValueError):
+            CFLMatch(Graph([0], []), cpi_impl="cython")
+
+    def test_registered_in_harness(self):
+        from repro.bench import MATCHERS
+
+        assert "CFL-Match-NumPy" in MATCHERS
+
+    def test_csr_cached(self):
+        g = Graph([0, 1], [(0, 1)])
+        first = g.csr()
+        assert g.csr() is first
+        indptr, indices, labels, degrees = first
+        assert indptr.tolist() == [0, 1, 2]
+        assert indices.tolist() == [1, 0]
+        assert labels.tolist() == [0, 1]
+        assert degrees.tolist() == [1, 1]

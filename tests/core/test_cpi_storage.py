@@ -1,0 +1,59 @@
+"""Tests for the offset-based CPI storage (Section A.2)."""
+
+from repro.core import build_cpi
+from repro.core.cpi_storage import CompiledCPI
+from repro.workloads.paper_graphs import figure5_example, figure7_example
+from tests.conftest import random_instance
+
+
+class TestCompile:
+    def test_figure5_offsets(self):
+        """Section A.2's own example: N_u1^u0(v0) stores positions {0, 3}
+        of v5 and v8 inside u1.C."""
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        compiled = CompiledCPI.from_cpi(cpi)
+        u0, u1 = ex.q("u0"), ex.q("u1")
+        v0_pos = compiled.candidates[u0].index(ex.v("v0"))
+        positions = compiled.child_positions(u1, v0_pos)
+        stored = [compiled.vertex_at(u1, pos) for pos in positions]
+        assert sorted(stored) == sorted([ex.v("v5"), ex.v("v8")])
+        # the positions are offsets, not ids
+        assert all(0 <= pos < len(compiled.candidates[u1]) for pos in positions)
+
+    def test_equivalence_with_dict_representation(self, rng):
+        """Every adjacency list survives compilation verbatim."""
+        for _ in range(20):
+            data, query = random_instance(rng)
+            cpi = build_cpi(query, data, 0)
+            compiled = CompiledCPI.from_cpi(cpi)
+            for u in query.vertices():
+                p = cpi.tree.parent[u]
+                if p is None:
+                    continue
+                for i, v_p in enumerate(cpi.candidates[p]):
+                    assert sorted(compiled.child_vertices(u, i)) == sorted(
+                        cpi.child_candidates(u, v_p)
+                    )
+
+    def test_candidates_preserved(self):
+        ex = figure7_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        compiled = CompiledCPI.from_cpi(cpi)
+        assert compiled.candidates == cpi.candidates
+
+    def test_size_accounting(self):
+        ex = figure5_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        compiled = CompiledCPI.from_cpi(cpi)
+        # candidates (10) + row_index (|u0.C|+1 = 6) + row_data (6 edges)
+        assert compiled.size_in_integers() == 10 + 6 + 6
+
+    def test_empty_rows_have_zero_span(self):
+        ex = figure7_example()
+        cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
+        compiled = CompiledCPI.from_cpi(cpi)
+        u1 = ex.q("u1")
+        for i in range(len(compiled.candidates[ex.q("u0")])):
+            span = compiled.child_positions(u1, i)
+            assert isinstance(span, list)

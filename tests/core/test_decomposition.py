@@ -1,0 +1,121 @@
+"""Unit tests for the CFL decomposition (Section 3)."""
+
+import random
+
+import pytest
+
+from repro.core import cfl_decompose
+from repro.graph import Graph, GraphError, random_connected_graph
+from repro.workloads.paper_graphs import figure1_example, figure4_query
+
+
+class TestPaperExamples:
+    def test_figure4_decomposition(self):
+        query, ids = figure4_query()
+        d = cfl_decompose(query)
+        assert sorted(d.core) == sorted(ids[n] for n in ("u0", "u1", "u2"))
+        assert sorted(d.forest) == sorted(ids[n] for n in ("u3", "u4", "u5", "u6"))
+        assert sorted(d.leaves) == sorted(ids[n] for n in ("u7", "u8", "u9", "u10"))
+        assert not d.is_tree_query
+
+    def test_figure4_forest_trees(self):
+        query, ids = figure4_query()
+        d = cfl_decompose(query)
+        assert len(d.trees) == 2
+        by_connection = {t.connection: t for t in d.trees}
+        tree1 = by_connection[ids["u1"]]
+        assert set(tree1.vertices) == {ids["u3"], ids["u4"], ids["u7"], ids["u8"]}
+        tree2 = by_connection[ids["u2"]]
+        assert set(tree2.vertices) == {ids["u5"], ids["u6"], ids["u9"], ids["u10"]}
+        # parents follow the tree structure
+        assert tree1.parent[ids["u7"]] == ids["u3"]
+        assert tree2.parent[ids["u10"]] == ids["u6"]
+
+    def test_figure1_decomposition(self):
+        example = figure1_example(5, 5)
+        d = cfl_decompose(example.query)
+        q = example.q
+        assert sorted(d.core) == sorted([q("u1"), q("u2"), q("u5")])
+        assert d.forest == [q("u3")]
+        assert sorted(d.leaves) == sorted([q("u4"), q("u6")])
+
+
+class TestPartitionInvariants:
+    def test_sets_partition_vertices(self, rng):
+        for _ in range(40):
+            query = random_connected_graph(rng.randrange(1, 25), rng.randrange(0, 12), 3, rng)
+            d = cfl_decompose(query)
+            combined = sorted(d.core + d.forest + d.leaves)
+            assert combined == list(query.vertices())
+
+    def test_leaves_are_degree_one(self, rng):
+        for _ in range(40):
+            query = random_connected_graph(rng.randrange(2, 25), rng.randrange(0, 12), 3, rng)
+            d = cfl_decompose(query)
+            for u in d.leaves:
+                assert query.degree(u) == 1
+
+    def test_core_is_two_core_when_nonempty(self, rng):
+        for _ in range(40):
+            query = random_connected_graph(rng.randrange(3, 25), rng.randrange(2, 12), 3, rng)
+            d = cfl_decompose(query)
+            if d.is_tree_query:
+                continue
+            core = set(d.core)
+            for u in core:
+                assert sum(1 for w in query.neighbors(u) if w in core) >= 2
+
+    def test_each_tree_touches_core_once(self, rng):
+        for _ in range(30):
+            query = random_connected_graph(rng.randrange(3, 25), rng.randrange(0, 8), 3, rng)
+            d = cfl_decompose(query)
+            core = d.core_set
+            for tree in d.trees:
+                assert tree.connection in core
+                assert not set(tree.vertices) & core
+
+
+class TestTreeQueries:
+    def test_tree_query_core_is_single_root(self):
+        query = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (1, 3)])
+        d = cfl_decompose(query)
+        assert d.is_tree_query
+        assert d.core == [1]  # max-degree default chooser
+
+    def test_explicit_tree_root(self):
+        query = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (1, 3)])
+        d = cfl_decompose(query, tree_root=0)
+        assert d.core == [0]
+
+    def test_root_chooser_callback(self):
+        query = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        d = cfl_decompose(query, root_chooser=lambda q: 2)
+        assert d.core == [2]
+
+    def test_single_vertex_query(self):
+        d = cfl_decompose(Graph([3], []))
+        assert d.core == [0]
+        assert d.forest == []
+        assert d.leaves == []
+
+    def test_single_edge_query(self):
+        d = cfl_decompose(Graph([0, 1], [(0, 1)]), tree_root=0)
+        assert d.core == [0]
+        assert d.leaves == [1]
+        assert d.forest == []
+
+    def test_path_query_middle_is_forest(self):
+        # path 0-1-2: root at 1, both ends are leaves
+        d = cfl_decompose(Graph([0, 1, 0], [(0, 1), (1, 2)]), tree_root=1)
+        assert d.core == [1]
+        assert sorted(d.leaves) == [0, 2]
+
+
+class TestErrors:
+    def test_empty_query_rejected(self):
+        with pytest.raises(GraphError, match="empty"):
+            cfl_decompose(Graph([], []))
+
+    def test_disconnected_query_rejected(self):
+        with pytest.raises(GraphError, match="connected"):
+            cfl_decompose(Graph([0, 0, 0], [(0, 1)]))

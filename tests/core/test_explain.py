@@ -1,0 +1,59 @@
+"""Tests for the EXPLAIN plan renderer and cardinality estimate."""
+
+from repro.core import CFLMatch
+from repro.core.explain import estimate_embeddings, explain
+from repro.graph import Graph
+from repro.workloads.paper_graphs import figure1_example, figure3_example
+from tests.conftest import random_instance
+
+
+class TestEstimate:
+    def test_upper_bound_property(self, rng):
+        """The CPI tree estimate never undercounts true embeddings."""
+        for _ in range(25):
+            data, query = random_instance(rng)
+            matcher = CFLMatch(data)
+            prepared = matcher.prepare(query)
+            estimate = estimate_embeddings(prepared.cpi)
+            exact = matcher.count(query)
+            assert estimate >= exact
+
+    def test_exact_on_paths_without_sharing(self):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        query = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        prepared = CFLMatch(data).prepare(query)
+        assert estimate_embeddings(prepared.cpi) == 1
+
+    def test_zero_when_no_candidates(self):
+        data = Graph([0, 0], [(0, 1)])
+        query = Graph([5, 5], [(0, 1)])
+        prepared = CFLMatch(data).prepare(query)
+        assert estimate_embeddings(prepared.cpi) == 0
+
+
+class TestExplain:
+    def test_mentions_every_section(self):
+        ex = figure3_example()
+        text = explain(CFLMatch(ex.data), ex.query)
+        for keyword in (
+            "CFL-Match plan", "decomposition:", "BFS root:", "CPI size:",
+            "matching order:", "leaf plan", "estimated embeddings",
+        ):
+            assert keyword in text
+
+    def test_stage_annotations(self):
+        ex = figure1_example(5, 5)
+        text = explain(CFLMatch(ex.data), ex.query)
+        assert "[core]" in text
+        assert "[forest]" in text
+        assert "NEC(" in text
+
+    def test_no_leaves_case(self, triangle_query):
+        data = Graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        text = explain(CFLMatch(data), triangle_query)
+        assert "(no leaves)" in text
+
+    def test_variant_flags_shown(self):
+        ex = figure3_example()
+        text = explain(CFLMatch(ex.data, mode="cf", cpi_mode="td"), ex.query)
+        assert "mode=cf" in text and "cpi=td" in text

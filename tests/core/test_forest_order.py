@@ -1,0 +1,90 @@
+"""Tests for forest-stage ordering (Section 4.3) and stress equivalence."""
+
+import random
+
+from repro.baselines import VF2Match
+from repro.core import CFLMatch
+from repro.graph import Graph, random_connected_graph
+
+
+class TestForestTreeOrdering:
+    def _query_two_trees(self):
+        """Core triangle (0,1,2); tree A at 1 = {3}; tree B at 2 = {4, 5}.
+
+        Vertices 3, 4 are internal (degree 2 via their own leaf children
+        6, 7, 8) so both trees survive the leaf split.
+        """
+        return Graph(
+            [0, 1, 2, 3, 4, 5, 6, 7, 3],
+            [
+                (0, 1), (1, 2), (0, 2),          # core
+                (1, 3), (3, 6),                  # tree A: 3 internal, 6 leaf
+                (2, 4), (4, 7), (2, 8), (8, 5),  # tree B: 4, 8 internal
+            ],
+        )
+
+    def test_cheaper_tree_first(self):
+        query = self._query_two_trees()
+        # data = query itself: each tree has exactly one embedding per
+        # anchor, so ordering falls back to estimate ties -> stable order
+        matcher = CFLMatch(query)
+        prepared = matcher.prepare(query)
+        forest = prepared.forest_order
+        # both internal forest vertices appear, each before nothing of
+        # its own subtree is violated
+        assert set(forest) <= set(prepared.decomposition.forest)
+        positions = {u: i for i, u in enumerate(forest)}
+        # a tree's vertices are contiguous (trees are not interleaved)
+        trees = [
+            [u for u in forest if u in set(t.vertices)]
+            for t in prepared.decomposition.trees
+        ]
+        for tree_vertices in trees:
+            if len(tree_vertices) > 1:
+                indexes = sorted(positions[u] for u in tree_vertices)
+                assert indexes == list(range(indexes[0], indexes[-1] + 1))
+
+    def test_forest_estimates_drive_order(self):
+        """A tree with strictly more CPI embeddings is matched later."""
+        # query: core edge-pair triangle (0,1,2); u3 hangs off 1; u4 off 2
+        query = Graph(
+            [0, 1, 2, 3, 4, 5, 6],
+            [(0, 1), (1, 2), (0, 2), (1, 3), (3, 5), (2, 4), (4, 6)],
+        )
+        # data: one embedding for the core; vertex-3-analog has 1
+        # candidate; vertex-4-analog has 3 candidates
+        data = Graph(
+            [0, 1, 2, 3, 4, 4, 4, 5, 6, 6, 6],
+            [
+                (0, 1), (1, 2), (0, 2),
+                (1, 3), (3, 7),                   # single tree-A chain
+                (2, 4), (2, 5), (2, 6),           # three tree-B anchors
+                (4, 8), (5, 9), (6, 10),
+            ],
+        )
+        matcher = CFLMatch(data)
+        prepared = matcher.prepare(query)
+        forest = prepared.forest_order
+        assert forest.index(3) < forest.index(4)
+
+
+class TestStressEquivalence:
+    def test_medium_instances_agree_with_vf2(self):
+        rng = random.Random(77)
+        for _ in range(8):
+            data = random_connected_graph(60, rng.randrange(30, 90), 4, rng)
+            query = random_connected_graph(rng.randrange(6, 10), rng.randrange(1, 5), 3, rng)
+            cfl = CFLMatch(data).count(query, limit=5000)
+            vf2 = VF2Match(data).count(query, limit=5000)
+            assert cfl == vf2
+
+    def test_high_symmetry_instance(self):
+        """Complete bipartite data graph with two labels: heavy NEC use."""
+        left, right = 5, 5
+        labels = [0] * left + [1] * right
+        edges = [(i, left + j) for i in range(left) for j in range(right)]
+        data = Graph(labels, edges)
+        query = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        # 5 choices for the hub x P(5, 3) for the leaves
+        assert CFLMatch(data).count(query) == 5 * 5 * 4 * 3
+        assert len(set(CFLMatch(data).search(query))) == 300

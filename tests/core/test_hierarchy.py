@@ -1,0 +1,131 @@
+"""Tests for the A.5 forest-IS result and the hierarchical-core extension."""
+
+import pytest
+
+from repro.core import (
+    CFLMatch,
+    build_cpi,
+    cfl_decompose,
+    forest_independent_set,
+    hierarchical_core_order,
+    hierarchical_shells,
+)
+from repro.graph import Graph, GraphError, random_connected_graph
+from repro.workloads.paper_graphs import figure4_query
+from tests.conftest import nx_monomorphisms, random_instance
+
+
+class TestForestIndependentSet:
+    def test_figure4(self):
+        query, ids = figure4_query()
+        d = cfl_decompose(query)
+        cover, independent = forest_independent_set(query, d)
+        assert independent == sorted(ids[n] for n in ("u7", "u8", "u9", "u10"))
+        # cMVC = connection vertices + degree>=2 forest vertices
+        assert cover == sorted(ids[n] for n in ("u1", "u2", "u3", "u4", "u5", "u6"))
+
+    def test_independent_set_equals_leaf_set(self, rng):
+        """Section A.5: the leaf-set IS the maximal forest independent set."""
+        for _ in range(40):
+            q = random_connected_graph(rng.randrange(2, 25), rng.randrange(0, 10), 3, rng)
+            d = cfl_decompose(q)
+            _cover, independent = forest_independent_set(q, d)
+            assert independent == d.leaves
+
+    def test_independence(self, rng):
+        """No edge joins two independent-set vertices."""
+        for _ in range(30):
+            q = random_connected_graph(rng.randrange(2, 20), rng.randrange(0, 8), 3, rng)
+            d = cfl_decompose(q)
+            _, independent = forest_independent_set(q, d)
+            ind = set(independent)
+            for u, v in q.edges():
+                assert not (u in ind and v in ind)
+
+    def test_cover_covers_forest_edges(self, rng):
+        """Every forest edge has at least one endpoint in the cMVC."""
+        for _ in range(30):
+            q = random_connected_graph(rng.randrange(2, 20), rng.randrange(0, 8), 3, rng)
+            d = cfl_decompose(q)
+            cover, _ = forest_independent_set(q, d)
+            cov = set(cover)
+            core = d.core_set
+            for u, v in q.edges():
+                if u in core and v in core:
+                    continue  # a core edge, not a forest edge
+                assert u in cov or v in cov
+
+
+class TestHierarchicalShells:
+    def test_uniform_cycle_is_one_shell(self):
+        q = Graph([0] * 4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        d = cfl_decompose(q)
+        shells = hierarchical_shells(q, d.core)
+        assert shells == {2: [0, 1, 2, 3]}
+
+    def test_clique_with_cycle_appendage(self):
+        # K4 (coreness 3) with a cycle through vertices 3-4-5 (coreness 2)
+        q = Graph(
+            [0] * 6,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+        )
+        d = cfl_decompose(q)
+        shells = hierarchical_shells(q, d.core)
+        assert shells[3] == [0, 1, 2, 3]
+        assert shells[2] == [4, 5]
+
+
+class TestHierarchicalCoreOrder:
+    def _cpi(self, query, data, root):
+        return build_cpi(query, data, root)
+
+    def test_order_is_connected_and_complete(self, rng):
+        for _ in range(20):
+            data, query = random_instance(rng, query_vertices=(3, 7))
+            d = cfl_decompose(query)
+            if len(d.core) < 2:
+                continue
+            cpi = self._cpi(query, data, d.core[0])
+            order = hierarchical_core_order(cpi, d.core, d.core[0])
+            assert sorted(order) == sorted(d.core)
+            placed = {order[0]}
+            for u in order[1:]:
+                assert any(w in placed for w in query.neighbors(u))
+                placed.add(u)
+
+    def test_deeper_shells_first(self):
+        q = Graph(
+            [0] * 6,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+        )
+        data = q  # match the query against itself
+        d = cfl_decompose(q)
+        cpi = self._cpi(q, data, 3)
+        order = hierarchical_core_order(cpi, d.core, 3)
+        # the K4 (coreness 3) is fully ordered before the 2-shell {4, 5}
+        assert set(order[:4]) == {0, 1, 2, 3}
+
+    def test_bad_root_rejected(self):
+        q = Graph([0, 0, 0], [(0, 1), (1, 2), (0, 2)])
+        cpi = self._cpi(q, q, 0)
+        with pytest.raises(GraphError):
+            hierarchical_core_order(cpi, [0, 1, 2], 99)
+
+
+class TestHierarchicalMatcher:
+    def test_matches_oracle(self, rng):
+        for _ in range(12):
+            data, query = random_instance(rng)
+            got = set(CFLMatch(data, core_strategy="hierarchical").search(query))
+            assert got == nx_monomorphisms(query, data)
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            CFLMatch(Graph([0], []), core_strategy="bogus")
+
+    def test_counts_agree_with_default(self, rng):
+        for _ in range(10):
+            data, query = random_instance(rng)
+            default = CFLMatch(data).count(query)
+            hierarchical = CFLMatch(data, core_strategy="hierarchical").count(query)
+            assert default == hierarchical

@@ -1,0 +1,176 @@
+"""Unit tests for Leaf-Match (Section 4.4)."""
+
+from math import factorial
+
+from repro.core import (
+    build_cpi,
+    build_leaf_plan,
+    cfl_decompose,
+    count_leaf_matches,
+    enumerate_leaf_matches,
+)
+from repro.graph import Graph
+from repro.workloads.paper_graphs import figure4_query
+
+
+def _prepare_figure4_style(num_per_label=2):
+    """Query: core edge (0,1) is replaced by a simple star — center 0 with
+    leaves of two labels; data gives each leaf group candidates."""
+    # query: center (label 0), two leaves label 1, one leaf label 2
+    query = Graph([0, 1, 1, 2], [(0, 1), (0, 2), (0, 3)])
+    # data: center v0, three label-1 neighbors, two label-2 neighbors
+    data = Graph(
+        [0, 1, 1, 1, 2, 2],
+        [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)],
+    )
+    return query, data
+
+
+class TestLeafPlan:
+    def test_figure4_label_classes(self):
+        """Section 4.4: S_G = {u8, u9}, S_F = {u7, u10}."""
+        query, ids = figure4_query()
+        d = cfl_decompose(query)
+        cpi = build_cpi(query, query, 0)  # data graph irrelevant for the plan
+        plan = build_leaf_plan(cpi, d.leaves)
+        classes = [
+            sorted(u for nec in cls for u in nec.members) for cls in plan.classes
+        ]
+        assert sorted(map(tuple, classes)) == sorted(
+            [
+                (ids["u7"], ids["u10"]),
+                (ids["u8"], ids["u9"]),
+            ]
+        )
+
+    def test_same_parent_same_label_merge_into_nec(self):
+        query = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        cpi = build_cpi(query, query, 0)
+        plan = build_leaf_plan(cpi, [1, 2, 3])
+        assert len(plan.classes) == 1
+        necs = plan.classes[0]
+        assert len(necs) == 1
+        assert necs[0].members == (1, 2, 3)
+
+    def test_different_parents_stay_separate_necs(self):
+        # path 1-0-2 with two label-1 leaves on different parents
+        query = Graph([0, 0, 1, 1], [(0, 1), (0, 2), (1, 3)])
+        cpi = build_cpi(query, query, 0)
+        plan = build_leaf_plan(cpi, [2, 3])
+        assert len(plan.classes) == 1
+        assert len(plan.classes[0]) == 2
+
+    def test_empty_plan(self):
+        query = Graph([0], [])
+        cpi = build_cpi(query, query, 0)
+        plan = build_leaf_plan(cpi, [])
+        assert plan.classes == ()
+
+
+class TestEnumerateAndCount:
+    def _run(self, query, data):
+        d = cfl_decompose(query, tree_root=0)
+        cpi = build_cpi(query, data, 0)
+        plan = build_leaf_plan(cpi, d.leaves)
+        mapping = [-1] * query.num_vertices
+        used = bytearray(data.num_vertices)
+        mapping[0] = 0
+        used[0] = 1
+        enumerated = []
+        for _ in enumerate_leaf_matches(cpi, plan, mapping, used):
+            enumerated.append(tuple(mapping))
+        count = count_leaf_matches(cpi, plan, mapping, used)
+        return enumerated, count
+
+    def test_count_equals_enumeration(self):
+        query, data = _prepare_figure4_style()
+        enumerated, count = self._run(query, data)
+        assert len(enumerated) == len(set(enumerated)) == count
+        # 3 choices x 2 choices for the label-1 NEC pair, 2 for label-2 leaf
+        assert count == 3 * 2 * 2
+
+    def test_nec_permutations_expanded(self):
+        query = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        data = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        enumerated, count = self._run(query, data)
+        assert count == 6  # P(3, 2)
+        images = {(m[1], m[2]) for m in enumerated}
+        assert len(images) == 6
+        assert all(a != b for a, b in images)
+
+    def test_injectivity_within_label_class_across_necs(self):
+        # two label-1 leaves under different parents sharing one candidate
+        query = Graph([0, 0, 1, 1], [(0, 1), (0, 2), (1, 3)])
+        data = Graph([0, 0, 1], [(0, 1), (0, 2), (1, 2)])
+        d = cfl_decompose(query, tree_root=0)
+        cpi = build_cpi(query, data, 0)
+        plan = build_leaf_plan(cpi, d.leaves)
+        mapping = [0, 1, -1, -1]
+        used = bytearray(data.num_vertices)
+        used[0] = used[1] = 1
+        results = [tuple(mapping) for _ in enumerate_leaf_matches(cpi, plan, mapping, used)]
+        # both leaves can only map to v2 -> conflict -> no assignment
+        assert results == []
+        assert count_leaf_matches(cpi, plan, mapping, used) == 0
+
+    def test_used_vertices_excluded(self):
+        query, data = _prepare_figure4_style()
+        d = cfl_decompose(query, tree_root=0)
+        cpi = build_cpi(query, data, 0)
+        plan = build_leaf_plan(cpi, d.leaves)
+        mapping = [0, -1, -1, -1]
+        used = bytearray(data.num_vertices)
+        used[0] = 1
+        used[1] = 1  # one label-1 candidate already consumed
+        count = count_leaf_matches(cpi, plan, mapping, used)
+        assert count == 2 * 1 * 2  # P(2,2) x 2
+
+    def test_cap_stops_early(self):
+        query = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        data = Graph([0] + [1] * 7, [(0, i) for i in range(1, 8)])
+        d = cfl_decompose(query, tree_root=0)
+        cpi = build_cpi(query, data, 0)
+        plan = build_leaf_plan(cpi, d.leaves)
+        mapping = [0, -1, -1, -1]
+        used = bytearray(data.num_vertices)
+        used[0] = 1
+        full = count_leaf_matches(cpi, plan, mapping, used)
+        assert full == 7 * 6 * 5
+        capped = count_leaf_matches(cpi, plan, mapping, used, cap=10)
+        assert 10 <= capped <= full
+
+    def test_nec_factorial_in_count(self):
+        query = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        data = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        d = cfl_decompose(query, tree_root=0)
+        cpi = build_cpi(query, data, 0)
+        plan = build_leaf_plan(cpi, d.leaves)
+        mapping = [0, -1, -1, -1]
+        used = bytearray(4)
+        used[0] = 1
+        assert count_leaf_matches(cpi, plan, mapping, used) == factorial(3)
+
+    def test_infeasible_nec_fails_fast(self):
+        query = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        data = Graph([0, 1], [(0, 1)])  # only one label-1 candidate for 2 leaves
+        d = cfl_decompose(query, tree_root=0)
+        cpi = build_cpi(query, data, 0)
+        plan = build_leaf_plan(cpi, d.leaves)
+        mapping = [0, -1, -1]
+        used = bytearray(2)
+        used[0] = 1
+        assert list(enumerate_leaf_matches(cpi, plan, mapping, used)) == []
+        assert count_leaf_matches(cpi, plan, mapping, used) == 0
+
+    def test_state_restored_after_enumeration(self):
+        query, data = _prepare_figure4_style()
+        d = cfl_decompose(query, tree_root=0)
+        cpi = build_cpi(query, data, 0)
+        plan = build_leaf_plan(cpi, d.leaves)
+        mapping = [0, -1, -1, -1]
+        used = bytearray(data.num_vertices)
+        used[0] = 1
+        for _ in enumerate_leaf_matches(cpi, plan, mapping, used):
+            pass
+        assert mapping == [0, -1, -1, -1]
+        assert used[1:] == bytearray(data.num_vertices - 1)

@@ -1,0 +1,69 @@
+"""Unit tests for NEC classes (TurboISO's query compression relation)."""
+
+from repro.core import nec_classes, nec_reduction
+from repro.graph import Graph
+
+
+class TestNECClasses:
+    def test_independent_type(self):
+        """Two same-label leaves on the same parent merge."""
+        g = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        classes = nec_classes(g)
+        assert [sorted(c) for c in classes] == [[0], [1, 2]]
+
+    def test_clique_type(self):
+        """Adjacent twins with identical closed neighborhoods merge."""
+        # triangle 1-2-3 all hanging off 0, labels equal
+        g = Graph([0, 1, 1], [(0, 1), (0, 2), (1, 2)])
+        classes = nec_classes(g)
+        assert [sorted(c) for c in classes] == [[0], [1, 2]]
+
+    def test_label_must_match(self):
+        g = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        classes = nec_classes(g)
+        assert all(len(c) == 1 for c in classes)
+
+    def test_neighborhood_must_match(self):
+        g = Graph([0, 1, 1, 0], [(0, 1), (0, 2), (2, 3)])
+        classes = nec_classes(g)
+        assert all(len(c) == 1 for c in classes)
+
+    def test_restricted_vertex_pool(self):
+        g = Graph([0, 1, 1], [(0, 1), (0, 2)])
+        classes = nec_classes(g, vertices=[1, 2])
+        assert [sorted(c) for c in classes] == [[1, 2]]
+
+    def test_classes_partition_pool(self, rng):
+        from repro.graph import random_connected_graph
+
+        for _ in range(20):
+            g = random_connected_graph(rng.randrange(2, 20), rng.randrange(0, 10), 2, rng)
+            classes = nec_classes(g)
+            flattened = sorted(v for cls in classes for v in cls)
+            assert flattened == list(g.vertices())
+
+
+class TestNECReduction:
+    def test_reduction_counts_merged_vertices(self):
+        g = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        assert nec_reduction(g) == 2
+
+    def test_incompressible_graph(self):
+        g = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert nec_reduction(g) == 0
+
+    def test_forest_structure_incompressible(self, rng):
+        """Lemma 4.2: forest-set vertices never share label+neighborhood."""
+        from repro.core import cfl_decompose
+        from repro.graph import random_connected_graph
+
+        for _ in range(30):
+            q = random_connected_graph(rng.randrange(3, 20), rng.randrange(0, 8), 3, rng)
+            d = cfl_decompose(q)
+            if len(d.forest) < 2:
+                continue
+            for i, u in enumerate(d.forest):
+                for w in d.forest[i + 1:]:
+                    same_label = q.label(u) == q.label(w)
+                    same_nbrs = set(q.neighbors(u)) == set(q.neighbors(w))
+                    assert not (same_label and same_nbrs)

@@ -1,0 +1,149 @@
+"""Unit tests for matching-order selection (Algorithm 2, Section 4.2.1)."""
+
+import pytest
+
+from repro.core import (
+    build_cpi,
+    cfl_decompose,
+    estimate_tree_embeddings,
+    order_structure,
+    path_non_tree_weight,
+    path_suffix_counts,
+    subtree_paths,
+    validate_matching_order,
+)
+from repro.graph import Graph, GraphError
+from repro.workloads.paper_graphs import figure1_example
+from tests.conftest import random_instance
+
+
+def _full_vertex_set(graph):
+    return set(graph.vertices())
+
+
+class TestSubtreePaths:
+    def test_paths_cover_all_vertices(self, rng):
+        for _ in range(20):
+            data, query = random_instance(rng)
+            cpi = build_cpi(query, data, 0)
+            paths = subtree_paths(cpi, 0, _full_vertex_set(query))
+            covered = {v for path in paths for v in path}
+            assert covered == _full_vertex_set(query)
+            assert all(path[0] == 0 for path in paths)
+
+    def test_singleton_subtree(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1], [(0, 1)])
+        cpi = build_cpi(query, data, 0)
+        assert subtree_paths(cpi, 1, {1}) == [[1]]
+
+    def test_start_outside_allowed_rejected(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1], [(0, 1)])
+        cpi = build_cpi(query, data, 0)
+        with pytest.raises(GraphError):
+            subtree_paths(cpi, 0, {1})
+
+
+class TestPathSuffixCounts:
+    def test_counts_match_brute_force(self, rng):
+        """The DP equals explicit enumeration of CPI path embeddings."""
+        for _ in range(20):
+            data, query = random_instance(rng)
+            cpi = build_cpi(query, data, 0)
+            paths = subtree_paths(cpi, 0, _full_vertex_set(query))
+            for path in paths:
+                counts = path_suffix_counts(cpi, path)
+                for start in range(len(path)):
+                    assert counts[start] == self._brute_force(cpi, path[start:])
+
+    @staticmethod
+    def _brute_force(cpi, path):
+        """Count chains v_0 -e- v_1 ... along the path inside the CPI."""
+        total = 0
+        stack = [(0, v) for v in cpi.candidates[path[0]]]
+        while stack:
+            i, v = stack.pop()
+            if i == len(path) - 1:
+                total += 1
+                continue
+            child = path[i + 1]
+            for w in cpi.child_candidates(child, v):
+                stack.append((i + 1, w))
+        return total
+
+    def test_leaf_path(self):
+        data = Graph([0, 0, 1], [(0, 2), (1, 2)])
+        query = Graph([0, 1], [(0, 1)])
+        cpi = build_cpi(query, data, 0)
+        counts = path_suffix_counts(cpi, [0, 1])
+        assert counts[0] == 2  # (v0->v2), (v1->v2)
+        assert counts[1] == 1  # just |u1.C| = {v2}
+
+
+class TestOrderStructure:
+    def test_order_is_valid(self, rng):
+        for _ in range(25):
+            data, query = random_instance(rng)
+            cpi = build_cpi(query, data, 0)
+            order = order_structure(cpi, 0, _full_vertex_set(query))
+            assert order[0] == 0
+            validate_matching_order(order, cpi.tree.parent, query.vertices())
+
+    def test_core_order_prioritizes_nontree_pruning(self):
+        """Figure 1: the core order must place u5 right after the cycle
+        prefix so the non-tree edge (u2, u5) is checked early."""
+        ex = figure1_example(20, 50)
+        decomposition = cfl_decompose(ex.query)
+        root = ex.q("u1")
+        cpi = build_cpi(ex.query, ex.data, root)
+        order = order_structure(cpi, root, decomposition.core_set)
+        assert sorted(order) == sorted(decomposition.core)
+        assert order[0] == root
+
+    def test_non_tree_weight(self):
+        ex = figure1_example(5, 5)
+        cpi = build_cpi(ex.query, ex.data, ex.q("u1"))
+        # u2 and u5 each carry the single non-tree edge (u2, u5)
+        assert path_non_tree_weight(cpi, [ex.q("u1"), ex.q("u2")]) == 1
+        assert path_non_tree_weight(cpi, [ex.q("u1")]) == 0
+
+
+class TestEstimateTreeEmbeddings:
+    def test_single_vertex(self):
+        data = Graph([0, 0], [(0, 1)])
+        query = Graph([0], [])
+        cpi = build_cpi(query, data, 0)
+        assert estimate_tree_embeddings(cpi, 0, {0}) == 2
+
+    def test_star_tree_counts_products(self):
+        # query star: center 0 (label 0) with two leaves of labels 1, 2
+        query = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        # data: one center adjacent to two 1-labeled and three 2-labeled
+        data = Graph(
+            [0, 1, 1, 2, 2, 2],
+            [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)],
+        )
+        cpi = build_cpi(query, data, 0)
+        assert estimate_tree_embeddings(cpi, 0, {0, 1, 2}) == 2 * 3
+
+    def test_restriction_drops_children(self):
+        query = Graph([0, 1, 2], [(0, 1), (0, 2)])
+        data = Graph([0, 1, 1, 2], [(0, 1), (0, 2), (0, 3)])
+        cpi = build_cpi(query, data, 0)
+        assert estimate_tree_embeddings(cpi, 0, {0, 1}) == 2
+        assert estimate_tree_embeddings(cpi, 0, {0}) == 1
+
+
+class TestValidateMatchingOrder:
+    def test_detects_duplicates(self):
+        with pytest.raises(GraphError, match="twice"):
+            validate_matching_order([0, 0], [None, None])
+
+    def test_detects_parent_violation(self):
+        with pytest.raises(GraphError, match="precede"):
+            validate_matching_order([1, 0], [None, 0])
+
+    def test_detects_missing_vertices(self):
+        with pytest.raises(GraphError, match="misses"):
+            validate_matching_order([0], [None, 0], required=[0, 1])

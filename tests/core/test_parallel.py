@@ -1,0 +1,93 @@
+"""Tests for parallel matching over root-candidate partitions."""
+
+import random
+
+import pytest
+
+from repro.core import CFLMatch
+from repro.core.parallel import _chunks, parallel_count, parallel_search
+from repro.graph import Graph, random_connected_graph
+from repro.workloads.paper_graphs import figure1_example
+
+
+class TestChunks:
+    def test_round_robin(self):
+        assert _chunks([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+    def test_more_pieces_than_items(self):
+        assert _chunks([1, 2], 5) == [[1], [2]]
+
+    def test_single_piece(self):
+        assert _chunks([1, 2, 3], 1) == [[1, 2, 3]]
+
+
+class TestRootRestriction:
+    """The partitioning hook on CFLMatch itself."""
+
+    def test_restrictions_partition_results(self, rng):
+        for _ in range(10):
+            data = random_connected_graph(rng.randrange(8, 20), rng.randrange(0, 15), 3, rng)
+            query = random_connected_graph(rng.randrange(2, 6), rng.randrange(0, 3), 2, rng)
+            matcher = CFLMatch(data)
+            prepared = matcher.prepare(query)
+            roots = list(prepared.cpi.candidates[prepared.root])
+            full = set(matcher.search(query))
+            pieces = [
+                set(matcher.search(query, root_candidates=chunk))
+                for chunk in _chunks(roots, 3)
+            ]
+            combined = set().union(*pieces) if pieces else set()
+            assert combined == full
+            # disjointness
+            assert sum(len(p) for p in pieces) == len(full)
+
+    def test_empty_restriction(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1], [(0, 1)])
+        matcher = CFLMatch(data)
+        assert list(matcher.search(query, root_candidates=[])) == []
+        assert matcher.count(query, root_candidates=[999]) == 0
+
+    def test_count_restriction(self):
+        ex = figure1_example(10, 10)
+        matcher = CFLMatch(ex.data)
+        prepared = matcher.prepare(ex.query)
+        roots = prepared.cpi.candidates[prepared.root]
+        total = sum(
+            matcher.count(ex.query, root_candidates=[v]) for v in roots
+        )
+        assert total == 10
+
+
+class TestParallel:
+    def test_parallel_count_matches_sequential(self):
+        ex = figure1_example(20, 30)
+        sequential = CFLMatch(ex.data).count(ex.query)
+        assert parallel_count(ex.data, ex.query, workers=2) == sequential
+
+    def test_parallel_search_matches_sequential(self, rng):
+        data = random_connected_graph(20, 15, 2, rng)
+        query = random_connected_graph(4, 1, 2, rng)
+        sequential = set(CFLMatch(data).search(query))
+        parallel = set(parallel_search(data, query, workers=2))
+        assert parallel == sequential
+
+    def test_workers_one_falls_back_inline(self):
+        ex = figure1_example(5, 5)
+        assert parallel_count(ex.data, ex.query, workers=1) == 5
+
+    def test_limit_saturates(self):
+        ex = figure1_example(30, 30)
+        assert parallel_count(ex.data, ex.query, workers=2, limit=7) == 7
+        assert len(parallel_search(ex.data, ex.query, workers=2, limit=7)) == 7
+
+    def test_no_candidates(self):
+        data = Graph([0], [])
+        query = Graph([9], [])
+        assert parallel_count(data, query, workers=2) == 0
+        assert parallel_search(data, query, workers=2) == []
+
+    def test_matcher_kwargs_forwarded(self):
+        ex = figure1_example(8, 8)
+        count = parallel_count(ex.data, ex.query, workers=2, cpi_mode="td")
+        assert count == 8

@@ -1,0 +1,45 @@
+"""Unit tests for BFS-root selection (Section A.6)."""
+
+import pytest
+
+from repro.core import select_root
+from repro.graph import Graph, GraphError
+from repro.workloads.paper_graphs import figure7_example
+
+
+class TestSelectRoot:
+    def test_figure7_picks_u0(self):
+        """Section A.6's example: u0 has |C|/d = 2/2 = 1, the minimum."""
+        ex = figure7_example()
+        assert select_root(ex.query, ex.data) == ex.q("u0")
+
+    def test_prefers_rare_labels(self):
+        # query: edge with labels 0 (frequent in data) and 1 (rare)
+        query = Graph([0, 1], [(0, 1)])
+        data = Graph([0, 0, 0, 0, 1], [(0, 4), (1, 4), (2, 4), (3, 4)])
+        assert select_root(query, data) == 1
+
+    def test_eligible_restricts_pool(self):
+        query = Graph([0, 1], [(0, 1)])
+        data = Graph([0, 0, 0, 0, 1], [(0, 4), (1, 4), (2, 4), (3, 4)])
+        assert select_root(query, data, eligible=[0]) == 0
+
+    def test_empty_pool_rejected(self):
+        query = Graph([0], [])
+        data = Graph([0], [])
+        with pytest.raises(GraphError):
+            select_root(query, data, eligible=[])
+
+    def test_degree_breaks_candidate_ties(self):
+        # both labels equally frequent; vertex 1 has higher query degree
+        query = Graph([0, 1, 0, 0], [(0, 1), (1, 2), (1, 3)])
+        data = Graph(
+            [0, 0, 0, 1],
+            [(0, 3), (1, 3), (2, 3)],
+        )
+        assert select_root(query, data) == 1
+
+    def test_root_is_deterministic(self):
+        query = Graph([0, 0], [(0, 1)])
+        data = Graph([0, 0], [(0, 1)])
+        assert select_root(query, data) == select_root(query, data) == 0

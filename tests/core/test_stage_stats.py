@@ -1,0 +1,38 @@
+"""Tests for per-stage (core/forest/leaf) search statistics."""
+
+from repro.core import CFLMatch, SearchStats
+from repro.workloads.paper_graphs import figure1_example, figure3_example
+
+
+class TestStageNodes:
+    def test_stages_partition_total(self):
+        ex = figure1_example(10, 20)
+        report = CFLMatch(ex.data).run(ex.query)
+        assert report.stage_nodes is not None
+        assert set(report.stage_nodes) == {"core", "forest", "leaf"}
+        assert sum(report.stage_nodes.values()) == report.stats.nodes
+
+    def test_figure1_core_prunes_fan(self):
+        """Postponing works: the core stage only ever touches 3 vertices
+        (u1, u2 and the single surviving u5 candidate) regardless of the
+        fan size."""
+        for fan in (20, 50, 100):
+            ex = figure1_example(10, fan)
+            report = CFLMatch(ex.data).run(ex.query)
+            assert report.stage_nodes["core"] == 3
+
+    def test_match_mode_has_no_forest_or_leaf_nodes(self):
+        ex = figure3_example()
+        report = CFLMatch(ex.data, mode="match").run(ex.query)
+        assert report.stage_nodes["forest"] == 0
+        assert report.stage_nodes["leaf"] == 0
+        assert report.stage_nodes["core"] > 0
+
+    def test_search_stage_stats_parameter(self):
+        ex = figure3_example()
+        matcher = CFLMatch(ex.data)
+        stage_stats = {}
+        results = list(matcher.search(ex.query, stage_stats=stage_stats))
+        assert len(results) == 3
+        assert isinstance(stage_stats["core"], SearchStats)
+        assert stage_stats["core"].nodes > 0

@@ -1,0 +1,108 @@
+"""Tests for the result-verification tooling."""
+
+from repro.baselines import QuickSIMatch
+from repro.core import CFLMatch
+from repro.core.verify import (
+    EmbeddingSetDiff,
+    diff_embedding_lists,
+    verification_report,
+    verify_matchers,
+)
+from repro.graph import Graph
+from repro.workloads.paper_graphs import figure3_example
+
+
+class _BrokenMatcher:
+    """A deliberately wrong matcher for exercising the diff paths."""
+
+    name = "Broken"
+
+    def __init__(self, data, results_per_query):
+        self.data = data
+        self._results = results_per_query
+
+    def search(self, query, limit=None):
+        results = self._results
+        return iter(results if limit is None else results[:limit])
+
+
+class TestDiff:
+    def test_identical_sets_ok(self):
+        ex = figure3_example()
+        embeddings = list(CFLMatch(ex.data).search(ex.query))
+        diff = diff_embedding_lists(ex.query, ex.data, embeddings, embeddings)
+        assert diff.ok
+        assert "OK" in diff.describe()
+
+    def test_missing_and_extra_detected(self):
+        ex = figure3_example()
+        embeddings = list(CFLMatch(ex.data).search(ex.query))
+        candidate = embeddings[:-1] + [(0, 0, 0, 0, 0)]
+        diff = diff_embedding_lists(ex.query, ex.data, embeddings, candidate)
+        assert not diff.ok
+        assert diff.missing == [embeddings[-1]] or embeddings[-1] in diff.missing
+        assert (0, 0, 0, 0, 0) in diff.extra
+        assert (0, 0, 0, 0, 0) in diff.invalid_candidate
+        text = diff.describe()
+        assert "MISMATCH" in text and "extra" in text
+
+    def test_duplicates_detected(self):
+        ex = figure3_example()
+        embeddings = list(CFLMatch(ex.data).search(ex.query))
+        diff = diff_embedding_lists(
+            ex.query, ex.data, embeddings, embeddings + [embeddings[0]]
+        )
+        assert diff.duplicates_candidate == 1
+        assert not diff.ok
+
+
+class TestVerifyMatchers:
+    def test_agreeing_matchers(self):
+        ex = figure3_example()
+        diffs = verify_matchers(
+            ex.data, [ex.query, ex.query],
+            CFLMatch(ex.data), QuickSIMatch(ex.data),
+        )
+        assert all(d.ok for d in diffs)
+        report = verification_report(diffs)
+        assert "2/2 queries agree" in report
+
+    def test_broken_matcher_flagged(self):
+        ex = figure3_example()
+        broken = _BrokenMatcher(ex.data, [(0, 0, 0, 0, 0)])
+        diffs = verify_matchers(ex.data, [ex.query], CFLMatch(ex.data), broken)
+        assert not diffs[0].ok
+        assert "MISMATCH" in verification_report(diffs)
+
+    def test_limit_mode_checks_validity_only(self):
+        """With a limit, differing first-k subsets are not mismatches."""
+        data = Graph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)])
+        query = Graph([0, 1], [(0, 1)])
+        diffs = verify_matchers(
+            data, [query], CFLMatch(data), QuickSIMatch(data), limit=2
+        )
+        assert diffs[0].ok
+        assert diffs[0].reference_count == 2
+
+
+class TestCLIVerify:
+    def test_verify_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "wl"
+        main(
+            [
+                "generate", "--dataset", "yeast", "--scale", "tiny",
+                "--count", "2", "--query-sizes", "4", "--out", str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "verify", "--workload", str(out),
+                "--reference", "CFL-Match", "--candidate", "VF2",
+                "--limit", "50",
+            ]
+        )
+        assert code == 0
+        assert "queries agree" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Tests for the Hopcroft-Karp bipartite matching substrate."""
+
+import random
+
+from repro.graph.bipartite import (
+    has_saturating_matching,
+    maximum_bipartite_matching,
+    semiperfect_matching_exists,
+)
+
+
+def brute_force_max_matching(num_left, num_right, adjacency):
+    """Exponential oracle for small instances."""
+    best = 0
+
+    def extend(u, used_right, size):
+        nonlocal best
+        if u == num_left:
+            best = max(best, size)
+            return
+        extend(u + 1, used_right, size)  # leave u unmatched
+        for v in adjacency[u]:
+            if v not in used_right:
+                used_right.add(v)
+                extend(u + 1, used_right, size + 1)
+                used_right.remove(v)
+
+    extend(0, set(), 0)
+    return best
+
+
+class TestMaximumMatching:
+    def test_perfect_matching(self):
+        matched = maximum_bipartite_matching(2, 2, [[0, 1], [0]])
+        assert matched == [1, 0]
+
+    def test_unmatchable_left_vertex(self):
+        matched = maximum_bipartite_matching(2, 1, [[0], [0]])
+        assert sum(1 for m in matched if m is not None) == 1
+
+    def test_empty_adjacency(self):
+        assert maximum_bipartite_matching(2, 2, [[], []]) == [None, None]
+
+    def test_augmenting_path_needed(self):
+        # greedy would match 0->0 and block 1; augmenting fixes it
+        matched = maximum_bipartite_matching(2, 2, [[0], [0, 1]])
+        assert matched[0] == 0 and matched[1] == 1
+
+    def test_against_brute_force(self, rng):
+        for _ in range(60):
+            n_left = rng.randrange(0, 6)
+            n_right = rng.randrange(0, 6)
+            adjacency = [
+                sorted(random.Random(rng.random()).sample(range(n_right),
+                       rng.randrange(0, n_right + 1)))
+                for _ in range(n_left)
+            ]
+            matched = maximum_bipartite_matching(n_left, n_right, adjacency)
+            size = sum(1 for m in matched if m is not None)
+            assert size == brute_force_max_matching(n_left, n_right, adjacency)
+            # the returned matching is consistent
+            rights = [m for m in matched if m is not None]
+            assert len(rights) == len(set(rights))
+            for u, v in enumerate(matched):
+                if v is not None:
+                    assert v in adjacency[u]
+
+
+class TestSaturation:
+    def test_saturating(self):
+        assert has_saturating_matching(2, 3, [[0, 1], [1, 2]])
+
+    def test_more_left_than_right(self):
+        assert not has_saturating_matching(3, 2, [[0], [1], [0, 1]])
+
+    def test_isolated_left_vertex(self):
+        assert not has_saturating_matching(2, 2, [[0, 1], []])
+
+    def test_semiperfect_wrapper(self):
+        assert semiperfect_matching_exists(
+            [10, 20], [1, 2, 3], lambda a, b: (a + b) % 2 == 1
+        )
+        assert not semiperfect_matching_exists(
+            [10, 20], [2, 4], lambda a, b: (a + b) % 2 == 1
+        )

@@ -1,0 +1,111 @@
+"""Tests for directed matching via the tail/head gadget reduction."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.graph import GraphError
+from repro.graph.directed import (
+    DiGraph,
+    match_directed,
+    reduce_directed_pair,
+    validate_directed_embedding,
+)
+
+
+def brute_force_directed(query, data):
+    results = set()
+    for perm in permutations(range(data.num_vertices), query.num_vertices):
+        if validate_directed_embedding(query, data, perm):
+            results.add(perm)
+    return results
+
+
+def random_digraph(rng, max_vertices=6, num_vlabels=2, num_alabels=2):
+    n = rng.randrange(2, max_vertices)
+    vlabels = [rng.randrange(num_vlabels) for _ in range(n)]
+    arcs = []
+    seen = set()
+    # weakly-connected backbone
+    for v in range(1, n):
+        u = rng.randrange(v)
+        if rng.random() < 0.5:
+            u, v2 = u, v
+        else:
+            u, v2 = v, u
+        arcs.append((u, v2, rng.randrange(num_alabels)))
+        seen.add((u, v2))
+    for _ in range(rng.randrange(0, 4)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and (u, v) not in seen:
+            seen.add((u, v))
+            arcs.append((u, v, rng.randrange(num_alabels)))
+    return DiGraph(tuple(vlabels), tuple(arcs))
+
+
+class TestConstruction:
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            DiGraph((0,), ((0, 0, 1),))
+
+    def test_rejects_duplicate_arc(self):
+        with pytest.raises(GraphError):
+            DiGraph((0, 1), ((0, 1, 1), (0, 1, 2)))
+
+    def test_antiparallel_arcs_allowed(self):
+        g = DiGraph((0, 1), ((0, 1, 1), (1, 0, 1)))
+        assert len(g.arcs) == 2
+
+
+class TestReduction:
+    def test_gadget_shape(self):
+        g = DiGraph((0, 1), ((0, 1, 5),))
+        red, _ = reduce_directed_pair(g, g)
+        assert red.graph.num_vertices == 2 + 2   # tail + head
+        assert red.graph.num_edges == 3
+        # tail and head carry distinct fresh labels
+        tail_label = red.graph.label(2)
+        head_label = red.graph.label(3)
+        assert tail_label != head_label
+        assert min(tail_label, head_label) > 1
+
+
+class TestMatching:
+    def test_direction_matters(self):
+        query = DiGraph((0, 1), ((0, 1, 0),))
+        data = DiGraph((0, 1), ((1, 0, 0),))  # reversed arc
+        assert list(match_directed(query, data)) == []
+
+    def test_forward_arc_matches(self):
+        query = DiGraph((0, 1), ((0, 1, 0),))
+        data = DiGraph((0, 1, 1), ((0, 1, 0), (2, 0, 0)))
+        assert set(match_directed(query, data)) == {(0, 1)}
+
+    def test_arc_label_matters(self):
+        query = DiGraph((0, 1), ((0, 1, 7),))
+        data = DiGraph((0, 1), ((0, 1, 8),))
+        assert list(match_directed(query, data)) == []
+
+    def test_antiparallel_pair(self):
+        query = DiGraph((0, 0), ((0, 1, 0), (1, 0, 0)))
+        data = DiGraph((0, 0, 0), ((0, 1, 0), (1, 0, 0), (1, 2, 0)))
+        got = set(match_directed(query, data))
+        assert got == {(0, 1), (1, 0)}
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            query = random_digraph(rng, max_vertices=4)
+            data = random_digraph(rng, max_vertices=6)
+            got = set(match_directed(query, data))
+            assert got == brute_force_directed(query, data)
+
+    def test_limit(self):
+        query = DiGraph((0, 1), ((0, 1, 0),))
+        data = DiGraph((0, 1, 1, 1), ((0, 1, 0), (0, 2, 0), (0, 3, 0)))
+        assert len(list(match_directed(query, data, limit=2))) == 2
+
+    def test_directed_triangle_vs_cycle(self):
+        """A directed 3-cycle embeds in a directed 3-cycle, rotated."""
+        cycle = DiGraph((0, 0, 0), ((0, 1, 0), (1, 2, 0), (2, 0, 0)))
+        got = set(match_directed(cycle, cycle))
+        assert got == {(0, 1, 2), (1, 2, 0), (2, 0, 1)}

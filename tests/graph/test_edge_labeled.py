@@ -1,0 +1,115 @@
+"""Tests for edge-labeled matching via the subdivision reduction."""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.baselines import VF2Match
+from repro.graph import GraphError
+from repro.graph.edge_labeled import (
+    EdgeLabeledGraph,
+    match_edge_labeled,
+    reduce_pair,
+    subdivide,
+    validate_edge_labeled_embedding,
+)
+
+
+def brute_force_edge_labeled(query, data):
+    """Tiny-instance oracle by exhaustive permutation."""
+    results = set()
+    for perm in permutations(range(data.num_vertices), query.num_vertices):
+        if validate_edge_labeled_embedding(query, data, perm):
+            results.add(perm)
+    return results
+
+
+def random_edge_labeled(rng, max_vertices=7, num_vlabels=2, num_elabels=2):
+    n = rng.randrange(2, max_vertices)
+    vlabels = [rng.randrange(num_vlabels) for _ in range(n)]
+    edges = []
+    for v in range(1, n):
+        edges.append((rng.randrange(v), v, rng.randrange(num_elabels)))
+    existing = {(min(u, v), max(u, v)) for u, v, _ in edges}
+    for _ in range(rng.randrange(0, 5)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and (min(u, v), max(u, v)) not in existing:
+            existing.add((min(u, v), max(u, v)))
+            edges.append((u, v, rng.randrange(num_elabels)))
+    return EdgeLabeledGraph(tuple(vlabels), tuple(edges))
+
+
+class TestConstruction:
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            EdgeLabeledGraph((0, 1), ((0, 0, 5),))
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(GraphError):
+            EdgeLabeledGraph((0, 1), ((0, 1, 5), (1, 0, 6)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            EdgeLabeledGraph((0,), ((0, 3, 1),))
+
+
+class TestSubdivision:
+    def test_shape(self):
+        g = EdgeLabeledGraph((0, 1, 0), ((0, 1, 7), (1, 2, 8)))
+        query_red, data_red = reduce_pair(g, g)
+        reduced = query_red.graph
+        assert reduced.num_vertices == 3 + 2       # + one vertex per edge
+        assert reduced.num_edges == 2 * 2          # each edge split in two
+        # edge vertices carry fresh labels above the vertex alphabet
+        for x in query_red.edge_vertex_of.values():
+            assert reduced.label(x) > max(g.vertex_labels)
+
+    def test_same_edge_label_same_vertex_label(self):
+        g = EdgeLabeledGraph((0, 1, 0), ((0, 1, 7), (1, 2, 7)))
+        red, _ = reduce_pair(g, g)
+        xs = list(red.edge_vertex_of.values())
+        assert red.graph.label(xs[0]) == red.graph.label(xs[1])
+
+    def test_shared_alphabet_across_pair(self):
+        q = EdgeLabeledGraph((0, 1), ((0, 1, 9),))
+        d = EdgeLabeledGraph((0, 1, 1), ((0, 1, 9), (0, 2, 3)))
+        rq, rd = reduce_pair(q, d)
+        q_edge_label = rq.graph.label(rq.edge_vertex_of[(0, 1)])
+        d_edge_label = rd.graph.label(rd.edge_vertex_of[(0, 1)])
+        assert q_edge_label == d_edge_label
+
+
+class TestMatching:
+    def test_edge_label_distinguishes(self):
+        # same topology, different edge labels
+        query = EdgeLabeledGraph((0, 1), ((0, 1, 5),))
+        data = EdgeLabeledGraph((0, 1, 1), ((0, 1, 5), (0, 2, 6)))
+        got = set(match_edge_labeled(query, data))
+        assert got == {(0, 1)}  # (0, 2) has the wrong edge label
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(25):
+            query = random_edge_labeled(rng, max_vertices=5)
+            data = random_edge_labeled(rng, max_vertices=7)
+            got = set(match_edge_labeled(query, data))
+            assert got == brute_force_edge_labeled(query, data)
+
+    def test_alternative_matcher_factory(self):
+        query = EdgeLabeledGraph((0, 1), ((0, 1, 5),))
+        data = EdgeLabeledGraph((0, 1), ((0, 1, 5),))
+        got = set(match_edge_labeled(query, data, matcher_factory=VF2Match))
+        assert got == {(0, 1)}
+
+    def test_limit(self, rng):
+        query = EdgeLabeledGraph((0, 1), ((0, 1, 5),))
+        data = EdgeLabeledGraph(
+            (0, 1, 1, 1), ((0, 1, 5), (0, 2, 5), (0, 3, 5))
+        )
+        assert len(list(match_edge_labeled(query, data, limit=2))) == 2
+
+    def test_validator_rejects_bad_mappings(self):
+        query = EdgeLabeledGraph((0, 1), ((0, 1, 5),))
+        data = EdgeLabeledGraph((0, 1), ((0, 1, 6),))
+        assert not validate_edge_labeled_embedding(query, data, (0, 1))
+        assert not validate_edge_labeled_embedding(query, data, (0, 0))

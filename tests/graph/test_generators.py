@@ -1,0 +1,119 @@
+"""Unit tests for graph and query generators."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    power_law_labels,
+    random_connected_graph,
+    random_spanning_tree_edges,
+    random_walk_query,
+    relabel,
+    synthetic_graph,
+)
+
+
+class TestPowerLawLabels:
+    def test_length_and_range(self):
+        rng = random.Random(1)
+        labels = power_law_labels(500, 10, rng)
+        assert len(labels) == 500
+        assert all(0 <= lab < 10 for lab in labels)
+
+    def test_skew(self):
+        """Label 0 should be strictly more frequent than label 9."""
+        rng = random.Random(2)
+        labels = power_law_labels(5000, 10, rng)
+        assert labels.count(0) > labels.count(9)
+
+    def test_rejects_zero_labels(self):
+        with pytest.raises(ValueError):
+            power_law_labels(10, 0, random.Random(0))
+
+
+class TestSpanningTree:
+    def test_tree_edge_count_and_connectivity(self):
+        rng = random.Random(3)
+        edges = random_spanning_tree_edges(50, rng)
+        assert len(edges) == 49
+        g = Graph([0] * 50, edges)
+        assert g.is_connected()
+
+
+class TestSyntheticGraph:
+    def test_paper_default_shape(self):
+        g = synthetic_graph(1000, avg_degree=8.0, num_labels=50, seed=4)
+        assert g.num_vertices == 1000
+        assert g.is_connected()
+        assert abs(g.average_degree() - 8.0) < 0.5
+        assert g.num_labels <= 50
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_graph(200, 4.0, 10, seed=5)
+        b = synthetic_graph(200, 4.0, 10, seed=5)
+        assert a == b
+        c = synthetic_graph(200, 4.0, 10, seed=6)
+        assert a != c
+
+    def test_degree_bounded_by_complete_graph(self):
+        g = synthetic_graph(5, avg_degree=100.0, num_labels=2, seed=1)
+        assert g.num_edges == 10  # K5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(0)
+
+
+class TestRandomWalkQuery:
+    def test_connected_induced_subgraph(self):
+        rng = random.Random(6)
+        data = synthetic_graph(300, 6.0, 8, seed=7)
+        for _ in range(10):
+            q = random_walk_query(data, 12, rng)
+            assert q.num_vertices == 12
+            assert q.is_connected()
+
+    def test_labels_come_from_data(self):
+        rng = random.Random(8)
+        data = synthetic_graph(100, 4.0, 5, seed=9)
+        q = random_walk_query(data, 8, rng)
+        data_labels = set(data.labels)
+        assert set(q.labels) <= data_labels
+
+    def test_edge_thinning_keeps_connectivity(self):
+        rng = random.Random(10)
+        data = synthetic_graph(300, 10.0, 4, seed=11)
+        q = random_walk_query(data, 15, rng, keep_edge_probability=0.0)
+        assert q.is_connected()
+        assert q.num_edges == q.num_vertices - 1  # only the spanning tree
+
+    def test_too_large_request_rejected(self):
+        data = Graph([0, 0], [(0, 1)])
+        with pytest.raises(GraphError):
+            random_walk_query(data, 5, random.Random(0))
+
+    def test_isolated_start_rejected(self):
+        data = Graph([0, 0, 0], [(0, 1)])
+        with pytest.raises(GraphError):
+            random_walk_query(data, 2, random.Random(0), start=2)
+
+
+class TestHelpers:
+    def test_random_connected_graph_is_connected(self):
+        rng = random.Random(12)
+        for _ in range(20):
+            g = random_connected_graph(rng.randrange(1, 20), rng.randrange(0, 10), 3, rng)
+            assert g.is_connected()
+
+    def test_relabel_preserves_topology(self):
+        g = Graph([0, 0, 0], [(0, 1), (1, 2)])
+        h = relabel(g, [5, 6, 7])
+        assert list(h.edges()) == list(g.edges())
+        assert h.labels == [5, 6, 7]
+
+    def test_relabel_validates_length(self):
+        with pytest.raises(GraphError):
+            relabel(Graph([0, 0], [(0, 1)]), [1])

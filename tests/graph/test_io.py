@@ -1,0 +1,103 @@
+"""Unit tests for graph serialization."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    LabelMap,
+    dumps_edge_list,
+    dumps_graph,
+    load_graph,
+    loads_edge_list,
+    loads_graph,
+    random_connected_graph,
+    save_graph,
+)
+
+
+class TestTveFormat:
+    def test_round_trip(self, small_data):
+        assert loads_graph(dumps_graph(small_data)) == small_data
+
+    def test_round_trip_random(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            g = random_connected_graph(rng.randrange(1, 15), rng.randrange(0, 10), 4, rng)
+            assert loads_graph(dumps_graph(g)) == g
+
+    def test_file_round_trip(self, tmp_path, small_data):
+        path = tmp_path / "g.graph"
+        save_graph(small_data, path)
+        assert load_graph(path) == small_data
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\nt 2 1\n\nv 0 7\nv 1 8\ne 0 1\n"
+        g = loads_graph(text)
+        assert g.labels == [7, 8]
+        assert g.has_edge(0, 1)
+
+    def test_degree_field_verified(self):
+        text = "t 2 1\nv 0 7 5\nv 1 8 1\ne 0 1\n"
+        with pytest.raises(GraphError, match="degree"):
+            loads_graph(text)
+
+    def test_missing_header(self):
+        with pytest.raises(GraphError, match="header"):
+            loads_graph("v 0 1\n")
+
+    def test_vertex_before_header(self):
+        with pytest.raises(GraphError, match="before 't'"):
+            loads_graph("v 0 1\nt 1 0\n")
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(GraphError, match="edges"):
+            loads_graph("t 2 5\nv 0 1\nv 1 1\ne 0 1\n")
+
+    def test_duplicate_vertex(self):
+        with pytest.raises(GraphError, match="twice"):
+            loads_graph("t 2 0\nv 0 1\nv 0 2\nv 1 1\n")
+
+    def test_missing_vertex_record(self):
+        with pytest.raises(GraphError, match="without"):
+            loads_graph("t 2 0\nv 0 1\n")
+
+    def test_unknown_tag(self):
+        with pytest.raises(GraphError, match="unknown"):
+            loads_graph("t 1 0\nv 0 1\nx 1 2\n")
+
+    def test_vertex_id_out_of_range(self):
+        with pytest.raises(GraphError, match="out of range"):
+            loads_graph("t 1 0\nv 5 1\n")
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self, small_data):
+        assert loads_edge_list(dumps_edge_list(small_data)) == small_data
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(GraphError, match="empty"):
+            loads_edge_list("\n \n")
+
+    def test_isolated_vertices_survive(self):
+        g = Graph([3, 4, 5], [(0, 1)])
+        assert loads_edge_list(dumps_edge_list(g)) == g
+
+
+class TestLabelMap:
+    def test_intern_is_idempotent(self):
+        lm = LabelMap()
+        a = lm.intern("protein")
+        b = lm.intern("gene")
+        assert lm.intern("protein") == a
+        assert a != b
+        assert len(lm) == 2
+
+    def test_name_round_trip(self):
+        lm = LabelMap()
+        idx = lm.intern("kinase")
+        assert lm.name(idx) == "kinase"
+        assert "kinase" in lm
+        assert "other" not in lm

@@ -1,0 +1,66 @@
+"""Unit tests for k-core decomposition."""
+
+import random
+
+import pytest
+
+from repro.graph import Graph, core_numbers, k_core_vertices, random_connected_graph, two_core_vertices
+
+
+class TestCoreNumbers:
+    def test_tree_has_core_one(self):
+        g = Graph([0] * 5, [(0, 1), (0, 2), (2, 3), (2, 4)])
+        assert core_numbers(g) == [1, 1, 1, 1, 1]
+
+    def test_cycle_has_core_two(self):
+        g = Graph([0] * 4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert core_numbers(g) == [2, 2, 2, 2]
+
+    def test_clique_core(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = Graph([0] * 5, edges)
+        assert core_numbers(g) == [4] * 5
+
+    def test_pendant_off_triangle(self):
+        g = Graph([0] * 4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert core_numbers(g) == [2, 2, 2, 1]
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph([], [])) == []
+
+    def test_isolated_vertices(self):
+        g = Graph([0, 0, 0], [(0, 1)])
+        assert core_numbers(g) == [1, 1, 0]
+
+
+class TestTwoCore:
+    def test_matches_general_k_core(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            g = random_connected_graph(rng.randrange(2, 30), rng.randrange(0, 25), 3, rng)
+            assert two_core_vertices(g) == k_core_vertices(g, 2)
+
+    def test_tree_two_core_is_empty(self):
+        g = Graph([0] * 4, [(0, 1), (1, 2), (1, 3)])
+        assert two_core_vertices(g) == []
+
+    def test_paper_figure4_two_core(self):
+        from repro.workloads.paper_graphs import figure4_query
+
+        query, ids = figure4_query()
+        core = two_core_vertices(query)
+        assert sorted(core) == sorted([ids["u0"], ids["u1"], ids["u2"]])
+
+    def test_two_core_is_fixpoint(self):
+        """Every 2-core vertex keeps >= 2 neighbors inside the core."""
+        rng = random.Random(9)
+        for _ in range(20):
+            g = random_connected_graph(rng.randrange(3, 25), rng.randrange(0, 15), 2, rng)
+            core = set(two_core_vertices(g))
+            for v in core:
+                inside = sum(1 for w in g.neighbors(v) if w in core)
+                assert inside >= 2
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_core_vertices(Graph([0], []), -1)

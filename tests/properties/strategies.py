@@ -1,0 +1,35 @@
+"""Hypothesis strategies for random labeled graphs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+
+
+@st.composite
+def connected_graphs(draw, min_vertices=1, max_vertices=12, max_labels=3, max_extra_edges=8):
+    """A connected vertex-labeled graph: random tree + extra edges."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = draw(
+        st.lists(st.integers(0, max_labels - 1), min_size=n, max_size=n)
+    )
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    if n >= 2:
+        extra_count = draw(st.integers(0, max_extra_edges))
+        for _ in range(extra_count):
+            u = draw(st.integers(0, n - 2))
+            v = draw(st.integers(u + 1, n - 1))
+            edges.add((u, v))
+    return Graph(labels, sorted(edges))
+
+
+@st.composite
+def query_data_pairs(draw, max_query=5, max_data=12, max_labels=3):
+    """A (query, data) pair sharing a label alphabet."""
+    query = draw(connected_graphs(min_vertices=1, max_vertices=max_query, max_labels=max_labels))
+    data = draw(connected_graphs(min_vertices=1, max_vertices=max_data, max_labels=max_labels))
+    return query, data

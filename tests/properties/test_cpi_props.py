@@ -1,0 +1,77 @@
+"""Property-based tests on CPI soundness (Theorem 4.1 / Lemmas 5.2-5.3)."""
+
+from hypothesis import given, settings
+
+from repro.core import build_cpi, build_naive_cpi
+from tests.conftest import brute_force_embeddings
+from tests.properties.strategies import query_data_pairs
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_data_pairs())
+def test_cpi_soundness_all_builders(pair):
+    """Every true embedding image survives in u.C and in the adjacency
+    lists, for the naive, top-down, and refined builders alike."""
+    query, data = pair
+    truth = brute_force_embeddings(query, data)
+    builders = [
+        build_naive_cpi(query, data, 0),
+        build_cpi(query, data, 0, refine=False),
+        build_cpi(query, data, 0, refine=True),
+    ]
+    for cpi in builders:
+        for emb in truth:
+            for u in query.vertices():
+                assert emb[u] in cpi.cand_sets[u]
+                p = cpi.tree.parent[u]
+                if p is not None:
+                    assert emb[u] in cpi.child_candidates(u, emb[p])
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_data_pairs())
+def test_refinement_monotone(pair):
+    """Bottom-up refinement only ever shrinks candidate sets."""
+    query, data = pair
+    td = build_cpi(query, data, 0, refine=False)
+    full = build_cpi(query, data, 0, refine=True)
+    for u in query.vertices():
+        assert set(full.candidates[u]) <= set(td.candidates[u])
+        assert set(td.candidates[u]) <= set(
+            build_naive_cpi(query, data, 0).candidates[u]
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_data_pairs())
+def test_cpi_edges_exist_in_data(pair):
+    """No false edges: every CPI adjacency entry is a data edge with
+    matching candidate membership."""
+    query, data = pair
+    cpi = build_cpi(query, data, 0)
+    for u in query.vertices():
+        for v_p, row in cpi.adjacency[u].items():
+            for v in row:
+                assert data.has_edge(v_p, v)
+                assert v in cpi.cand_sets[u]
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_data_pairs())
+def test_candidates_pass_label_filter(pair):
+    query, data = pair
+    cpi = build_cpi(query, data, 0)
+    for u in query.vertices():
+        for v in cpi.candidates[u]:
+            assert data.label(v) == query.label(u)
+            assert data.degree(v) >= query.degree(u)
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_data_pairs())
+def test_cpi_size_within_bound(pair):
+    """Section 4.1: |CPI| = O(|V(q)| x |E(G)|) — checked concretely."""
+    query, data = pair
+    cpi = build_cpi(query, data, 0)
+    bound = query.num_vertices * (data.num_vertices + 2 * max(data.num_edges, 1))
+    assert cpi.size() <= bound

@@ -1,0 +1,68 @@
+"""Cross-module invariants tying independent components together."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    CFLMatch,
+    build_cpi,
+    build_naive_cpi,
+    estimate_embeddings,
+    evaluate_order_cost,
+)
+from repro.baselines import QuickSIMatch
+
+from tests.properties.strategies import query_data_pairs
+
+
+@settings(max_examples=35, deadline=None)
+@given(query_data_pairs())
+def test_cost_model_final_breadth_is_embedding_count(pair):
+    """B_n of the Section-2.1 model equals the true embedding count,
+    for any valid connected order (here: QuickSI's QI-sequence)."""
+    query, data = pair
+    order, parent, _ = QuickSIMatch(data)._prepare(query)
+    breakdown = evaluate_order_cost(query, data, order, parent)
+    assert breakdown.breadths[-1] == CFLMatch(data).count(query)
+
+
+@settings(max_examples=35, deadline=None)
+@given(query_data_pairs())
+def test_estimates_are_monotone_across_builders(pair):
+    """Cardinality estimates shrink with stronger filtering and never
+    undercount: naive >= top-down >= refined >= exact."""
+    query, data = pair
+    naive = estimate_embeddings(build_naive_cpi(query, data, 0))
+    top_down = estimate_embeddings(build_cpi(query, data, 0, refine=False))
+    refined = estimate_embeddings(build_cpi(query, data, 0, refine=True))
+    exact = CFLMatch(data).count(query)
+    assert naive >= top_down >= refined >= exact
+
+
+@settings(max_examples=30, deadline=None)
+@given(query_data_pairs())
+def test_compiled_cpi_round_trips_any_builder(pair):
+    """The A.2 offset representation preserves every adjacency list of
+    both the naive and the refined CPI."""
+    from repro.core.cpi_storage import CompiledCPI
+
+    query, data = pair
+    for cpi in (build_naive_cpi(query, data, 0), build_cpi(query, data, 0)):
+        compiled = CompiledCPI.from_cpi(cpi)
+        for u in query.vertices():
+            p = cpi.tree.parent[u]
+            if p is None:
+                continue
+            for i, v_p in enumerate(cpi.candidates[p]):
+                assert sorted(compiled.child_vertices(u, i)) == sorted(
+                    cpi.child_candidates(u, v_p)
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(query_data_pairs())
+def test_stage_nodes_account_for_all_search_work(pair):
+    """run()'s per-stage counters always sum to the total node count."""
+    query, data = pair
+    report = CFLMatch(data).run(query)
+    assert report.stage_nodes is not None
+    assert sum(report.stage_nodes.values()) == report.stats.nodes

@@ -1,0 +1,65 @@
+"""Property-based tests on the CFL decomposition and k-core."""
+
+from hypothesis import given, settings
+
+from repro.core import cfl_decompose
+from repro.graph import core_numbers, k_core_vertices, two_core_vertices
+
+from tests.properties.strategies import connected_graphs
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graphs())
+def test_two_core_equals_bucket_kcore(g):
+    assert two_core_vertices(g) == k_core_vertices(g, 2)
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graphs())
+def test_core_numbers_bounded_by_degree(g):
+    numbers = core_numbers(g)
+    for v in g.vertices():
+        assert 0 <= numbers[v] <= g.degree(v)
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graphs())
+def test_decomposition_partitions_query(q):
+    d = cfl_decompose(q)
+    assert sorted(d.core + d.forest + d.leaves) == list(q.vertices())
+    assert not d.core_set & d.forest_set
+    assert not d.core_set & d.leaf_set
+    assert not d.forest_set & d.leaf_set
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graphs(min_vertices=2))
+def test_leaves_have_degree_one_and_forest_at_least_two(q):
+    d = cfl_decompose(q)
+    for u in d.leaves:
+        assert q.degree(u) == 1
+    for u in d.forest:
+        assert q.degree(u) >= 2
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graphs(min_vertices=2))
+def test_core_plus_forest_is_connected(q):
+    """q[V_C u V_T] must be connected for a connected matching order."""
+    d = cfl_decompose(q)
+    combined, _ = q.induced_subgraph(d.core + d.forest)
+    assert combined.is_connected()
+
+
+@settings(max_examples=80, deadline=None)
+@given(connected_graphs(min_vertices=2))
+def test_non_tree_edges_live_in_core(q):
+    """Lemma 3.1: every non-tree edge of any BFS tree joins core vertices."""
+    d = cfl_decompose(q)
+    core = d.core_set
+    root = d.core[0]
+    parent, _ = q.bfs_tree(root)
+    for u, v in q.edges():
+        if parent[u] == v or parent[v] == u:
+            continue
+        assert u in core and v in core

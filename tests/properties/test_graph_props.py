@@ -1,0 +1,76 @@
+"""Property-based tests on the Graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import dumps_edge_list, dumps_graph, loads_edge_list, loads_graph
+
+from tests.properties.strategies import connected_graphs
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graphs())
+def test_degree_sum_is_twice_edges(g):
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graphs())
+def test_nlf_sums_to_degree(g):
+    for v in g.vertices():
+        assert sum(g.nlf(v).values()) == g.degree(v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graphs())
+def test_mnd_is_max_neighbor_degree(g):
+    for v in g.vertices():
+        expected = max((g.degree(w) for w in g.neighbors(v)), default=0)
+        assert g.mnd(v) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graphs())
+def test_label_index_partitions_vertices(g):
+    seen = sorted(v for vs in g.label_index().values() for v in vs)
+    assert seen == list(g.vertices())
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graphs())
+def test_bfs_tree_levels_increase_by_one(g):
+    parent, level = g.bfs_tree(0)
+    for v in g.vertices():
+        p = parent[v]
+        if p is not None and p != -1:
+            assert level[v] == level[p] + 1
+    # connected: every vertex reached
+    assert all(level[v] >= 1 for v in g.vertices())
+
+
+@settings(max_examples=60, deadline=None)
+@given(connected_graphs(), st.data())
+def test_induced_subgraph_edges_match(g, data):
+    if g.num_vertices == 0:
+        return
+    subset = data.draw(
+        st.sets(st.integers(0, g.num_vertices - 1), min_size=1, max_size=g.num_vertices)
+    )
+    sub, kept = g.induced_subgraph(subset)
+    assert kept == sorted(subset)
+    back = {i: v for i, v in enumerate(kept)}
+    for a, b in sub.edges():
+        assert g.has_edge(back[a], back[b])
+    # every in-subset edge of g survives
+    inside = set(kept)
+    expected = sum(
+        1 for u, v in g.edges() if u in inside and v in inside
+    )
+    assert sub.num_edges == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(connected_graphs())
+def test_serialization_round_trips(g):
+    assert loads_graph(dumps_graph(g)) == g
+    assert loads_edge_list(dumps_edge_list(g)) == g

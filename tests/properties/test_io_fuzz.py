@@ -1,0 +1,62 @@
+"""Fuzz tests: parsers must raise GraphError (never crash) on any input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphError, loads_edge_list, loads_graph
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=300))
+def test_loads_graph_never_crashes(text):
+    try:
+        graph = loads_graph(text)
+    except GraphError:
+        return
+    # if it parsed, it must be a structurally valid graph
+    assert graph.num_vertices >= 0
+    assert all(lab >= 0 or lab != -1 for lab in graph.labels)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=300))
+def test_loads_edge_list_never_crashes(text):
+    try:
+        graph = loads_edge_list(text)
+    except GraphError:
+        return
+    assert graph.num_vertices >= 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from("tve#x"),
+            st.lists(st.integers(-3, 8), min_size=0, max_size=4),
+        ),
+        max_size=12,
+    )
+)
+def test_structured_fuzz(records):
+    """Token streams that look like the format but may violate it."""
+    text = "\n".join(
+        tag + " " + " ".join(str(x) for x in nums) for tag, nums in records
+    )
+    try:
+        loads_graph(text)
+    except GraphError:
+        pass
+
+
+def test_negative_vertex_count_rejected():
+    with pytest.raises(GraphError):
+        loads_graph("t -5 0\n")
+
+
+def test_non_integer_tokens_rejected():
+    with pytest.raises(GraphError, match="integer"):
+        loads_graph("t two 1\n")
+    with pytest.raises(GraphError, match="integer"):
+        loads_edge_list("a b\n")

@@ -1,0 +1,75 @@
+"""Property-based tests on matcher correctness and API contracts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BoostMatch, QuickSIMatch, TurboISOMatch, UllmannMatch, VF2Match
+from repro.core import CFLMatch, validate_embedding
+from tests.conftest import brute_force_embeddings
+from tests.properties.strategies import query_data_pairs
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_data_pairs())
+def test_cfl_variants_equal_brute_force(pair):
+    query, data = pair
+    truth = brute_force_embeddings(query, data)
+    for mode in ("cfl", "cf", "match"):
+        got = set(CFLMatch(data, mode=mode).search(query))
+        assert got == truth, mode
+
+
+@settings(max_examples=30, deadline=None)
+@given(query_data_pairs())
+def test_baselines_equal_brute_force(pair):
+    query, data = pair
+    truth = brute_force_embeddings(query, data)
+    for matcher in (
+        QuickSIMatch(data), TurboISOMatch(data), UllmannMatch(data),
+        VF2Match(data), BoostMatch(data),
+    ):
+        assert set(matcher.search(query)) == truth, matcher.name
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_data_pairs())
+def test_all_results_are_valid_embeddings(pair):
+    query, data = pair
+    for emb in CFLMatch(data).search(query):
+        assert validate_embedding(query, data, emb)
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_data_pairs(), st.integers(0, 10))
+def test_limit_contract(pair, limit):
+    query, data = pair
+    matcher = CFLMatch(data)
+    total = matcher.count(query)
+    got = list(matcher.search(query, limit=limit))
+    assert len(got) == min(limit, total)
+    assert len(set(got)) == len(got)  # no duplicates
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_data_pairs())
+def test_count_equals_enumeration_length(pair):
+    query, data = pair
+    matcher = CFLMatch(data)
+    assert matcher.count(query) == sum(1 for _ in matcher.search(query))
+
+
+@settings(max_examples=30, deadline=None)
+@given(query_data_pairs())
+def test_boost_count_equals_enumeration(pair):
+    """The m!/(m-k)! expansion arithmetic agrees with actual expansion."""
+    query, data = pair
+    matcher = BoostMatch(data)
+    assert matcher.count(query) == sum(1 for _ in matcher.search(query))
+
+
+@settings(max_examples=30, deadline=None)
+@given(query_data_pairs())
+def test_search_is_deterministic(pair):
+    query, data = pair
+    matcher = CFLMatch(data)
+    assert list(matcher.search(query)) == list(matcher.search(query))

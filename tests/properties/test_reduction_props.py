@@ -1,0 +1,114 @@
+"""Property-based tests for the edge-labeled and directed reductions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.directed import (
+    DiGraph,
+    match_directed,
+    validate_directed_embedding,
+)
+from repro.graph.edge_labeled import (
+    EdgeLabeledGraph,
+    match_edge_labeled,
+    validate_edge_labeled_embedding,
+)
+
+
+@st.composite
+def edge_labeled_graphs(draw, min_vertices=1, max_vertices=6, vlabels=2, elabels=2):
+    n = draw(st.integers(min_vertices, max_vertices))
+    vertex_labels = tuple(
+        draw(st.lists(st.integers(0, vlabels - 1), min_size=n, max_size=n))
+    )
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.append((parent, v, draw(st.integers(0, elabels - 1))))
+    existing = {(min(u, v), max(u, v)) for u, v, _ in edges}
+    for _ in range(draw(st.integers(0, 3))):
+        if n < 2:
+            break
+        u = draw(st.integers(0, n - 2))
+        v = draw(st.integers(u + 1, n - 1))
+        if (u, v) not in existing:
+            existing.add((u, v))
+            edges.append((u, v, draw(st.integers(0, elabels - 1))))
+    return EdgeLabeledGraph(vertex_labels, tuple(edges))
+
+
+@st.composite
+def digraphs(draw, min_vertices=1, max_vertices=5, vlabels=2, alabels=2):
+    n = draw(st.integers(min_vertices, max_vertices))
+    vertex_labels = tuple(
+        draw(st.lists(st.integers(0, vlabels - 1), min_size=n, max_size=n))
+    )
+    arcs = []
+    seen = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        if draw(st.booleans()):
+            arc = (parent, v)
+        else:
+            arc = (v, parent)
+        seen.add(arc)
+        arcs.append((*arc, draw(st.integers(0, alabels - 1))))
+    for _ in range(draw(st.integers(0, 3))):
+        if n < 2:
+            break
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v and (u, v) not in seen:
+            seen.add((u, v))
+            arcs.append((u, v, draw(st.integers(0, alabels - 1))))
+    return DiGraph(vertex_labels, tuple(arcs))
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_labeled_graphs(max_vertices=4), edge_labeled_graphs(max_vertices=6))
+def test_edge_labeled_results_are_valid_and_complete(query, data):
+    got = set(match_edge_labeled(query, data))
+    for emb in got:
+        assert validate_edge_labeled_embedding(query, data, emb)
+    # completeness against exhaustive permutation check
+    from itertools import permutations
+
+    expected = {
+        perm
+        for perm in permutations(range(data.num_vertices), query.num_vertices)
+        if validate_edge_labeled_embedding(query, data, perm)
+    }
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs(max_vertices=4), digraphs(max_vertices=5))
+def test_directed_results_are_valid_and_complete(query, data):
+    got = set(match_directed(query, data))
+    for emb in got:
+        assert validate_directed_embedding(query, data, emb)
+    from itertools import permutations
+
+    expected = {
+        perm
+        for perm in permutations(range(data.num_vertices), query.num_vertices)
+        if validate_directed_embedding(query, data, perm)
+    }
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_labeled_graphs(min_vertices=2, max_vertices=5))
+def test_edge_labeled_self_match(graph):
+    """Every edge-labeled graph embeds in itself (identity mapping)."""
+    identity = tuple(range(graph.num_vertices))
+    assert validate_edge_labeled_embedding(graph, graph, identity)
+    assert identity in set(match_edge_labeled(graph, graph))
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs(min_vertices=2, max_vertices=4))
+def test_directed_self_match(graph):
+    identity = tuple(range(graph.num_vertices))
+    assert validate_directed_embedding(graph, graph, identity)
+    assert identity in set(match_directed(graph, graph))

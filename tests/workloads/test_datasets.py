@@ -1,0 +1,86 @@
+"""Unit tests for dataset proxies."""
+
+import pytest
+
+from repro.workloads import (
+    DATASETS,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+    synthetic_sweep_degree,
+    synthetic_sweep_labels,
+    synthetic_sweep_vertices,
+)
+
+
+class TestSpecs:
+    def test_full_scale_matches_paper_statistics(self):
+        hprd = dataset_spec("hprd", "full")
+        assert hprd.num_vertices == 9460
+        assert hprd.num_labels == 307
+        yeast = dataset_spec("yeast", "full")
+        assert yeast.num_vertices == 3112
+        assert abs(yeast.avg_degree - 8.1) < 1e-9
+        human = dataset_spec("human", "full")
+        assert human.num_vertices == 4674
+        assert human.num_labels == 44
+        assert dataset_spec("wordnet", "full").num_vertices == 82670
+        assert dataset_spec("dblp", "full").num_vertices == 317080
+
+    def test_scaling_preserves_selectivity(self):
+        full = dataset_spec("hprd", "full")
+        small = dataset_spec("hprd", "small")
+        assert small.num_vertices < full.num_vertices
+        full_sel = full.num_vertices / full.num_labels
+        small_sel = small.num_vertices / small.num_labels
+        assert abs(full_sel - small_sel) / full_sel < 0.35
+
+    def test_scaling_preserves_degree(self):
+        assert dataset_spec("human", "small").avg_degree == DATASETS["human"].avg_degree
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_spec("imaginary")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            dataset_spec("hprd", "gigantic")
+
+    def test_names_listed(self):
+        assert "hprd" in dataset_names()
+        assert "synthetic" in dataset_names()
+
+
+class TestLoading:
+    def test_load_tiny_graph_matches_spec(self):
+        spec = dataset_spec("yeast", "tiny")
+        g = load_dataset("yeast", "tiny", seed=3)
+        assert g.num_vertices == spec.num_vertices
+        assert g.is_connected()
+        assert abs(g.average_degree() - spec.avg_degree) < 1.0
+
+    def test_deterministic(self):
+        assert load_dataset("hprd", "tiny", seed=1) == load_dataset("hprd", "tiny", seed=1)
+
+    def test_dense_human_proxy(self):
+        human = load_dataset("human", "tiny", seed=2)
+        hprd = load_dataset("hprd", "tiny", seed=2)
+        assert human.average_degree() > 2 * hprd.average_degree()
+
+
+class TestSweeps:
+    def test_vertex_sweep(self):
+        graphs = synthetic_sweep_vertices([100, 200])
+        assert graphs["G_100"].num_vertices == 100
+        assert graphs["G_200"].num_vertices == 200
+
+    def test_degree_sweep(self):
+        graphs = synthetic_sweep_degree([4, 8], 200)
+        assert abs(graphs["G_d=4"].average_degree() - 4) < 1
+        assert abs(graphs["G_d=8"].average_degree() - 8) < 1
+
+    def test_label_sweep(self):
+        graphs = synthetic_sweep_labels([5, 50], 300)
+        assert graphs["G_L=5"].num_labels <= 5
+        assert graphs["G_L=50"].num_labels <= 50
+        assert graphs["G_L=5"].num_labels < graphs["G_L=50"].num_labels

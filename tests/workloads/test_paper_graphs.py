@@ -1,0 +1,101 @@
+"""Tests asserting the paper-example fixtures reproduce the prose exactly."""
+
+from repro.core import CFLMatch, count_embeddings
+from repro.workloads.paper_graphs import (
+    figure1_example,
+    figure3_example,
+    figure4_query,
+    figure5_example,
+    figure7_example,
+    figure17_turboiso_pathological,
+)
+
+
+class TestFigure1:
+    def test_embedding_count_scales_with_core_paths(self):
+        assert count_embeddings(*_qd(figure1_example(10, 20))) == 10
+        assert count_embeddings(*_qd(figure1_example(25, 5))) == 25
+
+    def test_data_graph_shape(self):
+        ex = figure1_example(100, 1000)
+        # v0 is adjacent to v1 and the 1000-candidate fan
+        assert ex.data.degree(ex.v("v0")) == 1001
+        assert ex.data.degree(ex.v("v1")) == 102  # v0 + f0 + 100 branches
+
+    def test_only_f0_survives_nontree_edge(self):
+        ex = figure1_example(10, 50)
+        for emb in CFLMatch(ex.data).search(ex.query):
+            assert emb[ex.q("u5")] == ex.v("f0")
+            assert emb[ex.q("u6")] == ex.v("w")
+
+
+class TestFigure3:
+    def test_exactly_the_three_stated_embeddings(self):
+        ex = figure3_example()
+        got = set(CFLMatch(ex.data).search(ex.query))
+        expected = {
+            tuple(ex.v(n) for n in names)
+            for names in (
+                ("v0", "v2", "v1", "v5", "v4"),
+                ("v0", "v2", "v1", "v5", "v6"),
+                ("v0", "v2", "v3", "v5", "v6"),
+            )
+        }
+        assert got == expected
+
+    def test_example21_d21_is_two(self):
+        """Neighbors of v0 with u3's label: v1 and v3 (d_2^1 = 2)."""
+        ex = figure3_example()
+        label = ex.query.label(ex.q("u3"))
+        count = sum(
+            1 for w in ex.data.neighbors(ex.v("v0")) if ex.data.label(w) == label
+        )
+        assert count == 2
+
+
+class TestFigure4:
+    def test_degree_one_peeling_order(self):
+        """First peel removes u7..u10, second u3..u6 (Section 3)."""
+        query, ids = figure4_query()
+        first_wave = [v for v in query.vertices() if query.degree(v) == 1]
+        assert sorted(first_wave) == sorted(ids[n] for n in ("u7", "u8", "u9", "u10"))
+        remaining, _ = query.induced_subgraph(
+            [v for v in query.vertices() if v not in first_wave]
+        )
+        second_wave = [v for v in remaining.vertices() if remaining.degree(v) == 1]
+        assert len(second_wave) == 4
+
+
+class TestFigure5:
+    def test_single_edge_query_embeddings(self):
+        ex = figure5_example()
+        assert count_embeddings(ex.query, ex.data) == 6  # one per data edge
+
+
+class TestFigure7:
+    def test_final_embedding(self):
+        """The refined CPI admits exactly the embeddings of q in G."""
+        ex = figure7_example()
+        got = set(CFLMatch(ex.data).search(ex.query))
+        expected = {
+            (ex.v("v1"), ex.v("v3"), ex.v("v4"), ex.v("v11")),
+            (ex.v("v1"), ex.v("v5"), ex.v("v6"), ex.v("v12")),
+        }
+        assert got == expected
+
+
+class TestFigure17:
+    def test_near_clique_structure(self):
+        ex = figure17_turboiso_pathological(n=4, big_n=8)
+        # near-clique: every A vertex misses exactly its two cycle neighbors
+        inner_degrees = [ex.data.degree(ex.v(f"v{i}")) for i in range(1, 8)]
+        assert all(d == 8 - 3 for d in inner_degrees)
+
+    def test_query_is_a_path(self):
+        ex = figure17_turboiso_pathological(n=5, big_n=10)
+        degrees = sorted(ex.query.degree(u) for u in ex.query.vertices())
+        assert degrees == [1, 1, 2, 2, 2, 2]
+
+
+def _qd(example):
+    return example.query, example.data

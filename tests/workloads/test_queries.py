@@ -1,0 +1,110 @@
+"""Unit tests for query-set generation (Table 3)."""
+
+import random
+
+import pytest
+
+from repro.core import CFLMatch
+from repro.graph import GraphError
+from repro.workloads import (
+    QuerySetSpec,
+    classify_by_frequency,
+    default_query_specs,
+    default_spec,
+    generate_query,
+    generate_query_set,
+    load_dataset,
+    sparsify_to_avg_degree,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("yeast", "tiny", seed=5)
+
+
+class TestSpecs:
+    def test_names_follow_paper_convention(self):
+        assert QuerySetSpec(50, sparse=True).name == "q50S"
+        assert QuerySetSpec(25, sparse=False).name == "q25N"
+
+    def test_default_specs_table3(self):
+        names = [s.name for s in default_query_specs("hprd")]
+        assert names == ["q25S", "q25N", "q50S", "q50N", "q100S", "q100N", "q200S", "q200N"]
+        human = [s.name for s in default_query_specs("human")]
+        assert human == ["q10S", "q10N", "q15S", "q15N", "q20S", "q20N", "q25S", "q25N"]
+
+    def test_default_set(self):
+        assert default_spec("hprd", sparse=True).name == "q50S"
+        assert default_spec("human", sparse=False).name == "q15N"
+
+
+class TestSparsify:
+    def test_reduces_to_bound(self, data):
+        rng = random.Random(1)
+        query = generate_query(data, 12, sparse=False, rng=rng)
+        thinned = sparsify_to_avg_degree(query, 3.0, rng)
+        assert thinned.average_degree() <= 3.0
+        assert thinned.is_connected()
+        assert thinned.num_vertices == query.num_vertices
+
+    def test_noop_when_already_sparse(self, data):
+        rng = random.Random(2)
+        query = generate_query(data, 8, sparse=True, rng=rng)
+        assert sparsify_to_avg_degree(query, 10.0, rng) is query
+
+
+class TestGenerateQuery:
+    def test_sparse_class_bound(self, data):
+        rng = random.Random(3)
+        for _ in range(10):
+            q = generate_query(data, 10, sparse=True, rng=rng)
+            assert q.num_vertices == 10
+            assert q.average_degree() <= 3.0
+            assert q.is_connected()
+
+    def test_non_sparse_best_effort(self, data):
+        rng = random.Random(4)
+        q = generate_query(data, 10, sparse=False, rng=rng)
+        assert q.num_vertices == 10
+        assert q.is_connected()
+
+    def test_queries_have_embeddings_in_source(self, data):
+        """A random-walk subgraph always embeds in its data graph."""
+        rng = random.Random(5)
+        matcher = CFLMatch(data)
+        for sparse in (True, False):
+            q = generate_query(data, 6, sparse=sparse, rng=rng)
+            assert matcher.count(q, limit=1) >= 1
+
+    def test_tiny_query_rejected(self, data):
+        with pytest.raises(GraphError):
+            generate_query(data, 1, sparse=True, rng=random.Random(0))
+
+
+class TestGenerateQuerySet:
+    def test_count_and_determinism(self, data):
+        spec = QuerySetSpec(8, sparse=True, count=5)
+        a = generate_query_set(data, spec, seed=9)
+        b = generate_query_set(data, spec, seed=9)
+        assert len(a) == 5
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self, data):
+        spec = QuerySetSpec(8, sparse=True, count=3)
+        a = generate_query_set(data, spec, seed=1)
+        b = generate_query_set(data, spec, seed=2)
+        assert any(x != y for x, y in zip(a, b))
+
+
+class TestClassify:
+    def test_frequency_split(self, data):
+        rng = random.Random(11)
+        queries = [generate_query(data, 5, sparse=True, rng=rng) for _ in range(6)]
+        matcher = CFLMatch(data)
+        frequent, infrequent = classify_by_frequency(
+            data, queries, threshold=5, count_fn=lambda q, limit: matcher.count(q, limit=limit)
+        )
+        assert len(frequent) + len(infrequent) == 6
+        for q in frequent:
+            assert matcher.count(q, limit=5) >= 5

@@ -1,0 +1,66 @@
+"""Tests for workload persistence."""
+
+import pytest
+
+from repro.graph import Graph, GraphError
+from repro.workloads import load_dataset
+from repro.workloads.queries import QuerySetSpec, generate_query_set
+from repro.workloads.store import load_workload, save_workload, workload_summary
+
+
+@pytest.fixture
+def workload(tmp_path):
+    data = load_dataset("yeast", "tiny", seed=13)
+    sets = {
+        "q5S": generate_query_set(data, QuerySetSpec(5, True, 3), seed=1),
+        "q5N": generate_query_set(data, QuerySetSpec(5, False, 2), seed=2),
+    }
+    return tmp_path / "wl", data, sets
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, workload):
+        root, data, sets = workload
+        save_workload(root, data, sets)
+        loaded_data, loaded_sets = load_workload(root)
+        assert loaded_data == data
+        assert set(loaded_sets) == {"q5S", "q5N"}
+        for name in sets:
+            assert len(loaded_sets[name]) == len(sets[name])
+            for a, b in zip(loaded_sets[name], sets[name]):
+                assert a == b
+
+    def test_file_layout(self, workload):
+        root, data, sets = workload
+        save_workload(root, data, sets)
+        assert (root / "data.graph").exists()
+        assert (root / "manifest.txt").exists()
+        assert (root / "q5S" / "q0.graph").exists()
+
+    def test_overwrite_in_place(self, workload):
+        root, data, sets = workload
+        save_workload(root, data, sets)
+        save_workload(root, data, {"q5S": sets["q5S"]})
+        _, loaded = load_workload(root)
+        assert set(loaded) == {"q5S"}
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(GraphError, match="manifest"):
+            load_workload(tmp_path)
+
+    def test_invalid_set_name(self, workload):
+        root, data, sets = workload
+        with pytest.raises(GraphError, match="invalid"):
+            save_workload(root, data, {"bad/name": sets["q5S"]})
+
+
+class TestSummary:
+    def test_mentions_sets_and_sizes(self, workload):
+        root, data, sets = workload
+        save_workload(root, data, sets)
+        text = workload_summary(root)
+        assert "q5S: 3 queries" in text
+        assert "q5N: 2 queries" in text
+        assert f"|V|={data.num_vertices}" in text
