@@ -146,6 +146,8 @@ class BoostMatch(TimedMatcher):
         return compressed.quotient.num_vertices + compressed.quotient.num_edges
 
     def _matching_order(self, query: Graph) -> List[int]:
+        if not query.is_connected():
+            raise ValueError(f"{self.name} requires a connected query")
         data = self.data
 
         def rank(u: int) -> Tuple[float, int]:

@@ -131,6 +131,8 @@ class TurboISOMatch(TimedMatcher):
     # Preparation: start vertex + NEC tree
     # ------------------------------------------------------------------
     def _prepare(self, query: Graph) -> NECTree:
+        if not query.is_connected():
+            raise ValueError("TurboISO requires a connected query")
         data = self.data
         start = min(
             query.vertices(),

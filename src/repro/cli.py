@@ -92,6 +92,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing.engine import run_fuzz
+
+    corpus_dir = None if args.no_corpus else Path(args.corpus)
+    report = run_fuzz(
+        seed=args.seed,
+        budget_seconds=args.budget_seconds,
+        matchers=args.matchers,
+        max_cases=args.max_cases,
+        corpus_dir=corpus_dir,
+        shrink=not args.no_shrink,
+        metamorphic=not args.no_metamorphic,
+    )
+    print(report.summary())
+    if args.json == "-":
+        print(report.to_json())
+    elif args.json:
+        Path(args.json).write_text(report.to_json() + "\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .workloads.datasets import load_dataset
     from .workloads.queries import QuerySetSpec, generate_query_set
@@ -163,6 +185,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--candidate", default="QuickSI", choices=sorted(MATCHERS))
     p_verify.add_argument("--limit", type=int, default=None)
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential + metamorphic fuzzing of all registered matchers",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="workload stream seed")
+    p_fuzz.add_argument(
+        "--budget-seconds", type=float, default=10.0,
+        help="wall-clock budget for the whole run",
+    )
+    p_fuzz.add_argument(
+        "--matchers", nargs="+", default=None, choices=sorted(MATCHERS),
+        metavar="NAME", help="matcher subset (default: all registered)",
+    )
+    p_fuzz.add_argument(
+        "--max-cases", type=int, default=None, help="stop after this many cases"
+    )
+    p_fuzz.add_argument(
+        "--corpus", default="tests/corpus",
+        help="directory for minimized reproducers (default: tests/corpus)",
+    )
+    p_fuzz.add_argument(
+        "--no-corpus", action="store_true", help="do not write reproducer files"
+    )
+    p_fuzz.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the JSON report to PATH ('-' for stdout)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true", help="skip failing-case minimization"
+    )
+    p_fuzz.add_argument(
+        "--no-metamorphic", action="store_true",
+        help="differential checks only",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_gen = sub.add_parser("generate", help="write a reproducible workload directory")
     p_gen.add_argument("--dataset", default="yeast", choices=sorted(DATASETS))

@@ -15,7 +15,7 @@ accounting of the index (Figure 16(d)).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from .cpi import CPI
 
@@ -82,6 +82,31 @@ class CompiledCPI:
         """Data vertices of :meth:`child_positions` (test/debug helper)."""
         cand = self.candidates[u]
         return [cand[pos] for pos in self.child_positions(u, parent_pos)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload; :meth:`from_dict` round-trips it exactly.
+
+        Lets a prepared index be cached on disk or shipped to a worker
+        without re-running the CPI construction passes.
+        """
+        return {
+            "root": self.root,
+            "parent": list(self.parent),  # None marks the root (JSON null)
+            "candidates": [list(c) for c in self.candidates],
+            "row_index": [list(ix) for ix in self.row_index],
+            "row_data": [list(d) for d in self.row_data],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CompiledCPI":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            root=payload["root"],
+            parent=payload["parent"],
+            candidates=[list(c) for c in payload["candidates"]],
+            row_index=[list(ix) for ix in payload["row_index"]],
+            row_data=[list(d) for d in payload["row_data"]],
+        )
 
     def size_in_integers(self) -> int:
         """Total index size counted in stored integers."""

@@ -10,7 +10,7 @@ verify`` command.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
 from .core_match import validate_embedding
@@ -88,6 +88,49 @@ def diff_embedding_lists(
         duplicates_reference=len(reference) - len(ref_set),
         duplicates_candidate=len(candidate) - len(cand_set),
     )
+
+
+@dataclass
+class CountDiff:
+    """Count-only comparison, for workloads where materializing the
+    embedding sets is too expensive (or where a metamorphic relation
+    predicts a count rather than a set)."""
+
+    reference_count: int
+    candidate_count: int
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.reference_count == self.candidate_count
+
+    def describe(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        if self.ok:
+            return f"{prefix}OK ({self.reference_count} embeddings)"
+        return (
+            f"{prefix}COUNT MISMATCH "
+            f"(reference={self.reference_count}, candidate={self.candidate_count})"
+        )
+
+
+def diff_counts(
+    reference_count: int, candidate_count: int, label: str = ""
+) -> CountDiff:
+    """Count-only analogue of :func:`diff_embedding_lists`."""
+    return CountDiff(reference_count, candidate_count, label)
+
+
+def map_embeddings(
+    embeddings: Iterable[Tuple[int, ...]], vertex_map: Dict[int, int]
+) -> List[Tuple[int, ...]]:
+    """Apply a data-vertex mapping to every embedding.
+
+    Used by metamorphic comparisons: after permuting the data graph by
+    ``vertex_map``, the reference embedding set mapped through it must
+    equal the embedding set computed on the permuted graph.
+    """
+    return [tuple(vertex_map[v] for v in emb) for emb in embeddings]
 
 
 def verify_matchers(

@@ -1,0 +1,67 @@
+"""Correctness tooling: workload generation, differential and
+metamorphic fuzzing, failing-case minimization, and the regression
+corpus.  See ``docs/testing.md`` for the oracle hierarchy and the
+corpus replay convention."""
+
+from .corpus import (
+    graph_from_dict,
+    graph_to_dict,
+    load_corpus,
+    replay_entry,
+    save_reproducer,
+)
+from .differential import Mismatch, differential_check, run_matcher
+from .engine import FuzzReport, MismatchRecord, run_fuzz
+from .metamorphic import (
+    METAMORPHIC_RELATIONS,
+    disjoint_union,
+    metamorphic_check,
+    permute_vertices,
+    rename_labels,
+)
+from .oracles import (
+    brute_force_count,
+    brute_force_embeddings,
+    is_brute_force_tractable,
+)
+from .shrinker import ShrinkResult, shrink_case
+from .workloads import (
+    CONNECTED_QUERY_SCENARIOS,
+    DEFAULT_SCENARIOS,
+    SCENARIOS,
+    FuzzCase,
+    WorkloadSpec,
+    generate_case,
+    generate_cases,
+)
+
+__all__ = [
+    "CONNECTED_QUERY_SCENARIOS",
+    "DEFAULT_SCENARIOS",
+    "METAMORPHIC_RELATIONS",
+    "SCENARIOS",
+    "FuzzCase",
+    "FuzzReport",
+    "Mismatch",
+    "MismatchRecord",
+    "ShrinkResult",
+    "WorkloadSpec",
+    "brute_force_count",
+    "brute_force_embeddings",
+    "differential_check",
+    "disjoint_union",
+    "generate_case",
+    "generate_cases",
+    "graph_from_dict",
+    "graph_to_dict",
+    "is_brute_force_tractable",
+    "load_corpus",
+    "metamorphic_check",
+    "permute_vertices",
+    "rename_labels",
+    "replay_entry",
+    "run_fuzz",
+    "run_matcher",
+    "save_reproducer",
+    "shrink_case",
+]

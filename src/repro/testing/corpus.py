@@ -1,0 +1,119 @@
+"""Regression corpus: minimized fuzz reproducers replayed by pytest.
+
+Every mismatch the fuzz engine finds is shrunk and written here as a
+small JSON file (``tests/corpus/`` by convention).  The test suite
+replays every entry on every run: a reproducer checks in as a *failing*
+witness of a bug and stays forever as a *passing* regression test once
+the bug is fixed — replay re-runs all matchers against the brute-force
+oracle rather than trusting counts recorded at capture time.
+
+File names embed a content hash so re-discovering the same minimized
+instance is idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .differential import Mismatch, differential_check
+from .oracles import brute_force_count
+
+CORPUS_FORMAT = 1
+
+#: Repo-convention corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIRNAME = "tests/corpus"
+
+
+def graph_to_dict(graph: Graph) -> Dict:
+    return {
+        "labels": list(graph.labels),
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: Dict) -> Graph:
+    return Graph(payload["labels"], [tuple(e) for e in payload["edges"]])
+
+
+def reproducer_dict(
+    data: Graph,
+    query: Graph,
+    *,
+    kind: str,
+    matcher: str,
+    detail: str,
+    scenario: Optional[str] = None,
+    seed: Optional[str] = None,
+) -> Dict:
+    """The canonical JSON payload for one minimized reproducer."""
+    payload = {
+        "format": CORPUS_FORMAT,
+        "kind": kind,
+        "matcher": matcher,
+        "detail": detail,
+        "scenario": scenario,
+        "seed": seed,
+        "query": graph_to_dict(query),
+        "data": graph_to_dict(data),
+        "oracle_count_at_capture": brute_force_count(query, data),
+    }
+    return payload
+
+
+def _digest(payload: Dict) -> str:
+    key = json.dumps(
+        {k: payload[k] for k in ("kind", "matcher", "query", "data")},
+        sort_keys=True,
+    )
+    return hashlib.sha256(key.encode()).hexdigest()[:10]
+
+
+def save_reproducer(
+    directory: Path,
+    data: Graph,
+    query: Graph,
+    *,
+    kind: str,
+    matcher: str,
+    detail: str,
+    scenario: Optional[str] = None,
+    seed: Optional[str] = None,
+) -> Path:
+    """Write (idempotently) one reproducer file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = reproducer_dict(
+        data, query, kind=kind, matcher=matcher, detail=detail,
+        scenario=scenario, seed=seed,
+    )
+    path = directory / f"repro-{_digest(payload)}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory: Path) -> List[Tuple[Path, Dict]]:
+    """All reproducers under ``directory`` (empty list if absent)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        entries.append((path, json.loads(path.read_text())))
+    return entries
+
+
+def replay_entry(
+    entry: Dict, matchers: Optional[Sequence[str]] = None
+) -> List[Mismatch]:
+    """Re-run the differential check on a stored reproducer.
+
+    Forces the brute-force oracle (corpus entries are minimized, hence
+    tiny); an empty return means the recorded bug is fixed/absent.
+    """
+    data = graph_from_dict(entry["data"])
+    query = graph_from_dict(entry["query"])
+    return differential_check(data, query, matchers=matchers, oracle="brute")

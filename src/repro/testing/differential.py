@@ -1,0 +1,130 @@
+"""Differential execution of registered matchers on one instance.
+
+Every matcher in :data:`repro.bench.harness.MATCHERS` is run on the same
+(query, data) pair and the embedding *sets* are cross-checked with the
+:mod:`repro.core.verify` diff machinery.  The reference is the
+brute-force oracle when tractable, otherwise the first well-behaved
+matcher (preferring CFL-Match).
+
+Connected-query contract: a matcher given a disconnected query may
+either answer correctly or reject it with a ``ValueError``/``GraphError``
+whose message mentions "connected"; anything else (a crash, a wrong
+set, a partial mapping) is a mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bench.harness import MATCHERS, make_matcher
+from ..core.core_match import SearchTimeout
+from ..core.verify import diff_embedding_lists
+from ..graph.graph import Graph, GraphError
+from .oracles import brute_force_embeddings, is_brute_force_tractable
+
+#: Matchers preferred as the reference when no oracle is affordable.
+PREFERRED_REFERENCES = ("CFL-Match", "VF2", "Ullmann")
+
+
+@dataclass
+class Mismatch:
+    """One detected disagreement, attributable to a single matcher."""
+
+    matcher: str
+    kind: str   # "differential" | "crash" | "metamorphic:<relation>"
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.matcher}: {self.detail}"
+
+
+@dataclass
+class MatcherOutcome:
+    name: str
+    status: str  # "ok" | "rejected" | "skipped" | "error"
+    embeddings: Optional[List[Tuple[int, ...]]] = None
+    error: Optional[str] = None
+
+
+def run_matcher(
+    name: str, data: Graph, query: Graph, limit: Optional[int] = None
+) -> MatcherOutcome:
+    """Run one registered matcher, classifying failures."""
+    try:
+        embeddings = list(make_matcher(name, data).search(query, limit=limit))
+        return MatcherOutcome(name, "ok", embeddings=embeddings)
+    except SearchTimeout as exc:
+        # Resource caps (TurboISO's CR budget) are behavior, not bugs.
+        return MatcherOutcome(name, "skipped", error=str(exc))
+    except (ValueError, GraphError) as exc:
+        if "connected" in str(exc) and not query.is_connected():
+            return MatcherOutcome(name, "rejected", error=str(exc))
+        return MatcherOutcome(name, "error", error=f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 — the fuzz engine reports these
+        return MatcherOutcome(name, "error", error=f"{type(exc).__name__}: {exc}")
+
+
+def differential_check(
+    data: Graph,
+    query: Graph,
+    matchers: Optional[Sequence[str]] = None,
+    oracle: str = "auto",
+    limit: Optional[int] = None,
+) -> List[Mismatch]:
+    """Cross-check all ``matchers`` on one instance; [] means agreement.
+
+    ``oracle`` is ``"auto"`` (brute force when tractable), ``"brute"``
+    (always brute force) or ``"none"`` (matchers only).
+    """
+    names = list(matchers) if matchers is not None else sorted(MATCHERS)
+    unknown = [n for n in names if n not in MATCHERS]
+    if unknown:
+        raise KeyError(f"unknown matcher(s) {unknown}; choose from {sorted(MATCHERS)}")
+
+    outcomes: Dict[str, MatcherOutcome] = {
+        name: run_matcher(name, data, query, limit=limit) for name in names
+    }
+    mismatches: List[Mismatch] = [
+        Mismatch(out.name, "crash", out.error or "unknown error")
+        for out in outcomes.values()
+        if out.status == "error"
+    ]
+
+    reference: Optional[Set[Tuple[int, ...]]] = None
+    reference_name = ""
+    use_oracle = oracle == "brute" or (
+        oracle == "auto" and is_brute_force_tractable(query, data)
+    )
+    if use_oracle:
+        reference = brute_force_embeddings(query, data)
+        reference_name = "brute-force oracle"
+    else:
+        ok_names = [n for n in names if outcomes[n].status == "ok"]
+        ranked = [n for n in PREFERRED_REFERENCES if n in ok_names]
+        pick = ranked[0] if ranked else (ok_names[0] if ok_names else None)
+        if pick is not None:
+            reference = set(outcomes[pick].embeddings or [])
+            reference_name = pick
+
+    if reference is None:
+        return mismatches  # nothing to compare against (everything rejected)
+
+    for name in names:
+        out = outcomes[name]
+        if out.status != "ok" or name == reference_name:
+            continue
+        if limit is not None:
+            continue  # truncated enumerations are not set-comparable
+        diff = diff_embedding_lists(
+            query, data, sorted(reference), out.embeddings or []
+        )
+        if not diff.ok:
+            mismatches.append(
+                Mismatch(
+                    name,
+                    "differential",
+                    f"vs {reference_name}: " + diff.describe().replace("\n", "; "),
+                )
+            )
+    return mismatches

@@ -1,0 +1,220 @@
+"""The fuzz engine: seeded workload stream -> differential + metamorphic
+checks -> shrink -> corpus, under a wall-clock budget.
+
+CI and developers drive the same loop through ``cfl-match fuzz``; the
+JSON report makes runs diffable and the ``(seed, index)`` pair in every
+mismatch record makes any failure reproducible without the corpus file.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.harness import MATCHERS
+from ..core.core_match import SearchTimeout
+from ..core.matcher import CFLMatch
+from ..graph.graph import Graph, GraphError
+from .corpus import save_reproducer
+from .differential import Mismatch, differential_check
+from .metamorphic import METAMORPHIC_RELATIONS, metamorphic_check
+from .shrinker import shrink_case
+from .workloads import FuzzCase, WorkloadSpec, generate_case
+
+
+@dataclass
+class MismatchRecord:
+    """One confirmed disagreement, with everything needed to replay it."""
+
+    case_index: int
+    scenario: str
+    case_seed: str
+    matcher: str
+    kind: str
+    detail: str
+    reproducer: Optional[str] = None       # corpus file path, if written
+    minimized_data: Optional[Dict] = None  # {"vertices": n, "edges": m}
+    minimized_query: Optional[Dict] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run; serializes to JSON for CI."""
+
+    seed: int
+    budget_seconds: float
+    matchers: List[str]
+    cases_run: int = 0
+    cases_skipped: int = 0
+    elapsed_seconds: float = 0.0
+    scenario_counts: Dict[str, int] = field(default_factory=dict)
+    mismatches: List[MismatchRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> Dict:
+        payload = asdict(self)
+        payload["ok"] = self.ok
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: seed={self.seed} budget={self.budget_seconds:.0f}s "
+            f"matchers={len(self.matchers)} cases={self.cases_run} "
+            f"(skipped {self.cases_skipped}) in {self.elapsed_seconds:.1f}s"
+        ]
+        for name in sorted(self.scenario_counts):
+            lines.append(f"  {name}: {self.scenario_counts[name]} case(s)")
+        if self.ok:
+            lines.append("result: OK — no mismatches")
+        else:
+            lines.append(f"result: {len(self.mismatches)} MISMATCH(ES)")
+            for record in self.mismatches:
+                lines.append(
+                    f"  case {record.case_index} [{record.scenario}] "
+                    f"{record.matcher} ({record.kind}): {record.detail}"
+                )
+                if record.reproducer:
+                    lines.append(f"    reproducer: {record.reproducer}")
+        return "\n".join(lines)
+
+
+def _case_is_affordable(case: FuzzCase, max_embeddings: int) -> bool:
+    """Skip rare blow-up cases so one instance cannot eat the budget."""
+    try:
+        count = CFLMatch(case.data).count(case.query, limit=max_embeddings + 1)
+    except (ValueError, GraphError):
+        return True  # rejected queries cost nothing to differential-test
+    except SearchTimeout:
+        return False
+    return count <= max_embeddings
+
+
+def _failure_predicate(mismatch: Mismatch, matchers: Sequence[str]):
+    """Predicate for the shrinker: the *same* matcher still disagrees in
+    the *same* way on the reduced instance."""
+    if mismatch.kind.startswith("metamorphic:"):
+        relation = mismatch.kind.split(":", 1)[1]
+
+        def failing(data: Graph, query: Graph) -> bool:
+            found = metamorphic_check(
+                data, query, mismatch.matcher, random.Random(0),
+                relations=[relation],
+            )
+            return bool(found)
+
+        return failing
+
+    def failing(data: Graph, query: Graph) -> bool:
+        found = differential_check(data, query, matchers=matchers)
+        return any(
+            m.matcher == mismatch.matcher and m.kind == mismatch.kind
+            for m in found
+        )
+
+    return failing
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget_seconds: float = 10.0,
+    matchers: Optional[Sequence[str]] = None,
+    spec: WorkloadSpec = WorkloadSpec(),
+    max_cases: Optional[int] = None,
+    corpus_dir: Optional[Path] = None,
+    shrink: bool = True,
+    metamorphic: bool = True,
+    relations: Optional[Sequence[str]] = None,
+    max_embeddings: int = 20_000,
+    max_failures: int = 5,
+) -> FuzzReport:
+    """Fuzz all ``matchers`` (default: every registered one) until the
+    wall-clock budget or ``max_cases`` runs out.
+
+    Each case runs the differential check; clean cases additionally get
+    the metamorphic relations against one matcher (rotating by index so
+    the whole registry is covered over a run).  Mismatches are shrunk
+    and written to ``corpus_dir`` when given.
+    """
+    names = sorted(MATCHERS) if matchers is None else list(matchers)
+    unknown = [n for n in names if n not in MATCHERS]
+    if unknown:
+        raise KeyError(f"unknown matcher(s) {unknown}; choose from {sorted(MATCHERS)}")
+    relation_names = (
+        sorted(METAMORPHIC_RELATIONS) if relations is None else list(relations)
+    )
+    report = FuzzReport(
+        seed=seed, budget_seconds=budget_seconds, matchers=names
+    )
+    started = time.perf_counter()
+    deadline = started + budget_seconds
+    index = 0
+    while time.perf_counter() < deadline:
+        if max_cases is not None and index >= max_cases:
+            break
+        if len(report.mismatches) >= max_failures:
+            break
+        case = generate_case(seed, index, spec)
+        index += 1
+        if not _case_is_affordable(case, max_embeddings):
+            report.cases_skipped += 1
+            continue
+        report.cases_run += 1
+        report.scenario_counts[case.scenario] = (
+            report.scenario_counts.get(case.scenario, 0) + 1
+        )
+
+        mismatches = differential_check(case.data, case.query, matchers=names)
+        if metamorphic and not mismatches and case.query.is_connected():
+            meta_matcher = names[case.index % len(names)]
+            meta_rng = random.Random(f"{case.seed}:metamorphic")
+            mismatches = metamorphic_check(
+                case.data, case.query, meta_matcher, meta_rng,
+                relations=relation_names,
+            )
+
+        for mismatch in mismatches:
+            record = MismatchRecord(
+                case_index=case.index,
+                scenario=case.scenario,
+                case_seed=case.seed,
+                matcher=mismatch.matcher,
+                kind=mismatch.kind,
+                detail=mismatch.detail,
+            )
+            data, query = case.data, case.query
+            if shrink:
+                try:
+                    shrunk = shrink_case(
+                        data, query, _failure_predicate(mismatch, names)
+                    )
+                    data, query = shrunk.data, shrunk.query
+                except ValueError:
+                    pass  # flaky failure: keep the original instance
+            record.minimized_data = {
+                "vertices": data.num_vertices, "edges": data.num_edges,
+            }
+            record.minimized_query = {
+                "vertices": query.num_vertices, "edges": query.num_edges,
+            }
+            if corpus_dir is not None:
+                path = save_reproducer(
+                    Path(corpus_dir), data, query,
+                    kind=mismatch.kind, matcher=mismatch.matcher,
+                    detail=mismatch.detail, scenario=case.scenario,
+                    seed=case.seed,
+                )
+                record.reproducer = str(path)
+            report.mismatches.append(record)
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,218 @@
+"""Metamorphic relations: correctness oracles that need no ground truth.
+
+Each relation transforms an instance in a way whose effect on the
+embedding set is *provable*, then checks the matcher honors it:
+
+========================  ============================================
+``vertex-permutation``    permuting data vertex ids permutes embeddings
+``label-renaming``        bijective label renaming leaves them unchanged
+``disjoint-union``        counts add over disjoint data unions
+``edge-monotonicity``     adding a data edge never removes an embedding
+``filter-ablation``       every CFL-Match configuration agrees
+========================  ============================================
+
+Relations return ``None`` on success or a human-readable failure detail,
+and skip (return ``None``) on inputs outside their precondition (e.g. a
+disconnected query for ``disjoint-union``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bench.harness import make_matcher
+from ..core.core_match import SearchTimeout
+from ..core.matcher import CFLMatch
+from ..core.verify import diff_counts, map_embeddings
+from ..graph.graph import Graph, GraphError
+from .differential import Mismatch
+
+Relation = Callable[[Graph, Graph, str, random.Random], Optional[str]]
+
+
+def _embedding_set(name: str, data: Graph, query: Graph):
+    return set(make_matcher(name, data).search(query))
+
+
+def permute_vertices(graph: Graph, permutation: Sequence[int]) -> Graph:
+    """Relabel vertex ``v`` as ``permutation[v]`` (labels follow)."""
+    labels = [0] * graph.num_vertices
+    for v, lab in enumerate(graph.labels):
+        labels[permutation[v]] = lab
+    edges = [(permutation[u], permutation[v]) for u, v in graph.edges()]
+    return Graph(labels, edges)
+
+
+def rename_labels(graph: Graph, mapping: Dict[int, int]) -> Graph:
+    """Apply a label bijection to every vertex."""
+    return Graph([mapping[lab] for lab in graph.labels], list(graph.edges()))
+
+
+def disjoint_union(first: Graph, second: Graph) -> Graph:
+    """Disjoint union with ``second``'s ids offset past ``first``'s."""
+    offset = first.num_vertices
+    labels = list(first.labels) + list(second.labels)
+    edges = list(first.edges()) + [
+        (u + offset, v + offset) for u, v in second.edges()
+    ]
+    return Graph(labels, edges)
+
+
+# ----------------------------------------------------------------------
+# Relations
+# ----------------------------------------------------------------------
+def relation_vertex_permutation(data, query, matcher_name, rng) -> Optional[str]:
+    if not query.is_connected():
+        return None
+    permutation = list(range(data.num_vertices))
+    rng.shuffle(permutation)
+    base = _embedding_set(matcher_name, data, query)
+    permuted = _embedding_set(matcher_name, permute_vertices(data, permutation), query)
+    expected = set(map_embeddings(base, dict(enumerate(permutation))))
+    if expected != permuted:
+        missing = sorted(expected - permuted)[:3]
+        extra = sorted(permuted - expected)[:3]
+        return (
+            f"vertex permutation changed the embedding set "
+            f"(|base|={len(base)}, |permuted|={len(permuted)}, "
+            f"missing={missing}, extra={extra})"
+        )
+    return None
+
+
+def relation_label_renaming(data, query, matcher_name, rng) -> Optional[str]:
+    if not query.is_connected():
+        return None
+    alphabet = sorted(set(data.labels) | set(query.labels))
+    codomain = [1000 + i for i in range(len(alphabet))]
+    rng.shuffle(codomain)
+    mapping = dict(zip(alphabet, codomain))
+    base = _embedding_set(matcher_name, data, query)
+    renamed = _embedding_set(
+        matcher_name, rename_labels(data, mapping), rename_labels(query, mapping)
+    )
+    if base != renamed:
+        return (
+            f"label renaming changed the embedding set "
+            f"(|base|={len(base)}, |renamed|={len(renamed)})"
+        )
+    return None
+
+
+def relation_disjoint_union(data, query, matcher_name, rng) -> Optional[str]:
+    if not query.is_connected():
+        return None  # a disconnected query can straddle the two halves
+    other = Graph(
+        [rng.choice(data.labels) for _ in range(rng.randint(1, 6))], []
+    )
+    if other.num_vertices > 1:
+        edges = {
+            (min(u, v), max(u, v))
+            for u, v in (
+                (rng.randrange(other.num_vertices), rng.randrange(other.num_vertices))
+                for _ in range(6)
+            )
+            if u != v
+        }
+        other = Graph(other.labels, sorted(edges))
+    matcher = make_matcher(matcher_name, data)
+    separate = matcher.count(query) + make_matcher(matcher_name, other).count(query)
+    union = make_matcher(matcher_name, disjoint_union(data, other)).count(query)
+    check = diff_counts(separate, union, label="disjoint-union")
+    if not check.ok:
+        return check.describe()
+    return None
+
+
+def relation_edge_monotonicity(data, query, matcher_name, rng) -> Optional[str]:
+    if not query.is_connected():
+        return None
+    non_edges = [
+        (u, v)
+        for u in data.vertices()
+        for v in range(u + 1, data.num_vertices)
+        if not data.has_edge(u, v)
+    ]
+    if not non_edges:
+        return None  # complete data graph: nothing to add
+    u, v = rng.choice(non_edges)
+    base = _embedding_set(matcher_name, data, query)
+    grown = _embedding_set(
+        matcher_name, Graph(data.labels, list(data.edges()) + [(u, v)]), query
+    )
+    lost = base - grown
+    if lost:
+        return (
+            f"adding data edge ({u}, {v}) lost {len(lost)} embedding(s), "
+            f"e.g. {sorted(lost)[:3]}"
+        )
+    return None
+
+
+#: Every CFL-Match configuration must produce the same embedding set
+#: (the paper's filters and decompositions are pruning-only).
+ABLATION_CONFIGS = (
+    ("cfl/full", {}),
+    ("cf/full", {"mode": "cf"}),
+    ("match/full", {"mode": "match"}),
+    ("cfl/td", {"cpi_mode": "td"}),
+    ("cfl/naive", {"cpi_mode": "naive"}),
+    ("cfl/full/numpy", {"cpi_impl": "numpy"}),
+    ("cfl/full/hierarchical", {"core_strategy": "hierarchical"}),
+)
+
+
+def relation_filter_ablation(data, query, matcher_name, rng) -> Optional[str]:
+    """All filter/decomposition configurations agree (matcher-independent:
+    always exercises the CFL family)."""
+    if not query.is_connected():
+        return None
+    reference = None
+    reference_tag = ""
+    for tag, kwargs in ABLATION_CONFIGS:
+        found = set(CFLMatch(data, **kwargs).search(query))
+        if reference is None:
+            reference, reference_tag = found, tag
+        elif found != reference:
+            return (
+                f"configuration {tag} disagrees with {reference_tag} "
+                f"(|{reference_tag}|={len(reference)}, |{tag}|={len(found)})"
+            )
+    return None
+
+
+METAMORPHIC_RELATIONS: Dict[str, Relation] = {
+    "vertex-permutation": relation_vertex_permutation,
+    "label-renaming": relation_label_renaming,
+    "disjoint-union": relation_disjoint_union,
+    "edge-monotonicity": relation_edge_monotonicity,
+    "filter-ablation": relation_filter_ablation,
+}
+
+
+def metamorphic_check(
+    data: Graph,
+    query: Graph,
+    matcher_name: str,
+    rng: random.Random,
+    relations: Optional[Sequence[str]] = None,
+) -> List[Mismatch]:
+    """Run the selected relations; every violation becomes a Mismatch."""
+    names = list(relations) if relations is not None else sorted(METAMORPHIC_RELATIONS)
+    mismatches: List[Mismatch] = []
+    for name in names:
+        relation = METAMORPHIC_RELATIONS[name]
+        try:
+            detail = relation(data, query, matcher_name, rng)
+        except SearchTimeout:
+            continue
+        except (ValueError, GraphError) as exc:
+            if "connected" in str(exc):
+                continue  # matcher rejects some transformed input: fine
+            detail = f"raised {type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001
+            detail = f"raised {type(exc).__name__}: {exc}"
+        if detail is not None:
+            mismatches.append(Mismatch(matcher_name, f"metamorphic:{name}", detail))
+    return mismatches

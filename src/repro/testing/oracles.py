@@ -1,0 +1,85 @@
+"""Reference oracles for correctness testing.
+
+The oracle hierarchy (cheapest trust, highest cost first):
+
+1. :func:`brute_force_embeddings` — a ~20-line backtracking enumerator
+   written independently of every matcher in the repository.  It shares
+   no code with the CPI pipeline or the baselines, so agreement with it
+   is strong evidence of correctness.  Exponential: only run it when
+   :func:`is_brute_force_tractable` says so.
+2. Baseline differential testing (:mod:`repro.testing.differential`) —
+   all registered matchers must produce the same embedding set; a lone
+   dissenter is almost certainly wrong.
+3. Metamorphic relations (:mod:`repro.testing.metamorphic`) — oracles
+   that need no ground truth at all, used when even differential runs
+   are too slow.
+
+``brute_force_embeddings`` is the single shared reference
+implementation; ``tests/conftest.py`` re-exports it so the unit tests
+and the fuzz engine cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..graph.graph import Graph
+
+
+def brute_force_embeddings(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
+    """Tiny-instance oracle written independently of all matchers.
+
+    Returns tuples ``m`` with ``m[u]`` = data vertex of query vertex u.
+    Works for connected and disconnected queries alike.
+    """
+    n = query.num_vertices
+    result: Set[Tuple[int, ...]] = set()
+
+    def extend(mapping: List[int], used: Set[int]) -> None:
+        u = len(mapping)
+        if u == n:
+            result.add(tuple(mapping))
+            return
+        for v in data.vertices():
+            if v in used or data.label(v) != query.label(u):
+                continue
+            if all(
+                data.has_edge(mapping[w], v)
+                for w in query.neighbors(u)
+                if w < u
+            ):
+                mapping.append(v)
+                used.add(v)
+                extend(mapping, used)
+                mapping.pop()
+                used.remove(v)
+
+    extend([], set())
+    return result
+
+
+def brute_force_count(query: Graph, data: Graph) -> int:
+    """Number of embeddings per the brute-force oracle."""
+    return len(brute_force_embeddings(query, data))
+
+
+def brute_force_cost_estimate(query: Graph, data: Graph) -> float:
+    """Loose upper bound on the brute-force search-tree size.
+
+    The enumerator tries, per query vertex, every data vertex with the
+    matching label, so the product of label frequencies bounds the number
+    of tree nodes (pruning only shrinks it).
+    """
+    estimate = 1.0
+    for u in query.vertices():
+        estimate *= max(data.label_frequency(query.label(u)), 1)
+        if estimate > 1e18:
+            return estimate
+    return estimate
+
+
+def is_brute_force_tractable(
+    query: Graph, data: Graph, budget: float = 2e6
+) -> bool:
+    """Whether the brute-force oracle is affordable for this instance."""
+    return brute_force_cost_estimate(query, data) <= budget

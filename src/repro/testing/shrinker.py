@@ -1,0 +1,120 @@
+"""Delta-debugging minimizer for failing (query, data) pairs.
+
+Greedy one-element-at-a-time reduction, re-checking the failure after
+every candidate step (the classic ddmin inner loop; the instances here
+are small enough that the linear variant converges quickly):
+
+1. remove data vertices (with their incident edges),
+2. remove data edges,
+3. remove query vertices whose removal keeps the query connected
+   (leaves first, so the forest/leaf fringe goes before the core),
+4. remove query edges whose removal keeps the query connected,
+
+repeated until a full sweep makes no progress.  The predicate decides
+what "still failing" means; :mod:`repro.testing.engine` builds it from
+the original mismatch (same matcher, same kind of disagreement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..graph.graph import Graph
+
+Predicate = Callable[[Graph, Graph], bool]
+
+
+@dataclass
+class ShrinkResult:
+    data: Graph
+    query: Graph
+    checks: int            # predicate evaluations spent
+    rounds: int            # full sweeps until fixpoint
+
+
+def _without_vertex(graph: Graph, vertex: int) -> Graph:
+    kept = [v for v in graph.vertices() if v != vertex]
+    reduced, _ = graph.induced_subgraph(kept)
+    return reduced
+
+
+def _without_edge(graph: Graph, edge: Tuple[int, int]) -> Graph:
+    return Graph(list(graph.labels), [e for e in graph.edges() if e != edge])
+
+
+def shrink_case(
+    data: Graph,
+    query: Graph,
+    failing: Predicate,
+    max_checks: int = 4000,
+) -> ShrinkResult:
+    """Minimize ``(data, query)`` while ``failing`` stays true.
+
+    ``failing`` must be pure and is guarded: any exception it raises on
+    a reduced instance counts as "not failing" so the shrinker never
+    trades one bug for another mid-reduction.
+    """
+    checks = 0
+
+    def still_fails(d: Graph, q: Graph) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            return bool(failing(d, q))
+        except Exception:  # noqa: BLE001 — see docstring
+            return False
+
+    if not still_fails(data, query):
+        raise ValueError("shrink_case requires an initially failing instance")
+
+    # A connected query must stay connected (matchers assume it); when
+    # the failing query is already disconnected, any shape is fair game.
+    must_stay_connected = query.is_connected()
+
+    def query_shape_ok(candidate: Graph) -> bool:
+        return candidate.is_connected() or not must_stay_connected
+
+    rounds = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        rounds += 1
+
+        # 1. data vertices, highest id first (cheap renumbering).
+        v = data.num_vertices - 1
+        while v >= 0 and data.num_vertices > 1:
+            candidate = _without_vertex(data, v)
+            if still_fails(candidate, query):
+                data = candidate
+                progress = True
+            v -= 1
+
+        # 2. data edges.
+        for edge in list(data.edges()):
+            candidate = _without_edge(data, edge)
+            if still_fails(candidate, query):
+                data = candidate
+                progress = True
+
+        # 3. query vertices: leaves first, keep the query connected and
+        # non-empty (matchers assume connected queries).
+        for vertex in sorted(query.vertices(), key=query.degree):
+            if query.num_vertices <= 1:
+                break
+            candidate = _without_vertex(query, vertex)
+            if query_shape_ok(candidate) and still_fails(data, candidate):
+                query = candidate
+                progress = True
+                break  # vertex ids shifted; re-enumerate next sweep
+
+        # 4. query edges (non-bridges only).
+        for edge in list(query.edges()):
+            candidate = _without_edge(query, edge)
+            if query_shape_ok(candidate) and still_fails(data, candidate):
+                query = candidate
+                progress = True
+
+    return ShrinkResult(data=data, query=query, checks=checks, rounds=rounds)

@@ -1,0 +1,279 @@
+"""Seeded random (query, data) workload generator for the fuzz engine.
+
+The Hypothesis strategies in ``tests/properties`` draw small generic
+graphs; this generator instead targets the regimes where subgraph
+matchers historically break: dense cores, power-law label skew,
+NEC-heavy leaf fringes, guaranteed-empty results, disconnected data
+graphs, twin-rich graphs, and (deliberately unsupported) disconnected
+queries.  Every case is a pure function of ``(seed, index)`` so a
+failure is reproducible from two integers.
+
+Scenarios rotate by case index: case ``i`` uses
+``spec.scenarios[i % len(spec.scenarios)]``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Tuple
+
+from ..graph.generators import (
+    add_similar_vertices,
+    power_law_labels,
+    random_connected_graph,
+    random_spanning_tree_edges,
+    random_walk_query,
+)
+from ..graph.graph import Graph, GraphError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs for the case generator; defaults keep every registered
+    matcher (including Ullmann) tractable per case."""
+
+    data_vertices: Tuple[int, int] = (6, 26)          # inclusive range
+    data_extra_edges: Tuple[int, int] = (0, 22)       # on top of spanning tree
+    num_labels: Tuple[int, int] = (2, 6)
+    label_exponent: float = 1.0                       # power-law skew
+    query_vertices: Tuple[int, int] = (2, 7)
+    query_extra_edges: Tuple[int, int] = (0, 4)
+    walk_probability: float = 0.6                     # query via random walk
+    scenarios: Tuple[str, ...] = ()                   # () = DEFAULT_SCENARIOS
+
+    def scenario_names(self) -> Tuple[str, ...]:
+        return self.scenarios if self.scenarios else DEFAULT_SCENARIOS
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (data, query) instance, reproducible from its seed."""
+
+    index: int
+    scenario: str
+    seed: str
+    data: Graph = field(compare=False)
+    query: Graph = field(compare=False)
+
+    def describe(self) -> str:
+        return (
+            f"case {self.index} [{self.scenario}] seed={self.seed!r}: "
+            f"query(|V|={self.query.num_vertices}, |E|={self.query.num_edges}) "
+            f"in data(|V|={self.data.num_vertices}, |E|={self.data.num_edges})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Building blocks
+# ----------------------------------------------------------------------
+def _span(rng: random.Random, bounds: Tuple[int, int]) -> int:
+    return rng.randint(bounds[0], bounds[1])
+
+
+def _labeled_connected(
+    rng: random.Random,
+    num_vertices: int,
+    extra_edges: int,
+    num_labels: int,
+    exponent: float,
+) -> Graph:
+    """Connected graph: random tree + extra edges + power-law labels."""
+    labels = power_law_labels(num_vertices, num_labels, rng, exponent)
+    if num_vertices == 1:
+        return Graph(labels, [])
+    edge_set = {
+        (min(u, v), max(u, v))
+        for u, v in random_spanning_tree_edges(num_vertices, rng)
+    }
+    max_possible = num_vertices * (num_vertices - 1) // 2
+    target = min(len(edge_set) + extra_edges, max_possible)
+    attempts = 0
+    while len(edge_set) < target and attempts < 50 * target + 100:
+        attempts += 1
+        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if u != v:
+            edge_set.add((min(u, v), max(u, v)))
+    return Graph(labels, sorted(edge_set))
+
+
+def _base_data(rng: random.Random, spec: WorkloadSpec, exponent=None) -> Graph:
+    return _labeled_connected(
+        rng,
+        _span(rng, spec.data_vertices),
+        _span(rng, spec.data_extra_edges),
+        _span(rng, spec.num_labels),
+        spec.label_exponent if exponent is None else exponent,
+    )
+
+
+def _query_for(
+    rng: random.Random,
+    spec: WorkloadSpec,
+    data: Graph,
+    extra_edges: Tuple[int, int] = None,
+) -> Graph:
+    """A connected query: random walk on ``data`` (often non-empty
+    results) or an independent random graph over the same alphabet."""
+    extra = spec.query_extra_edges if extra_edges is None else extra_edges
+    size = _span(rng, spec.query_vertices)
+    if rng.random() < spec.walk_probability and data.num_edges > 0:
+        components = data.connected_components()
+        component = max(components, key=len)
+        size = min(size, len(component))
+        try:
+            return random_walk_query(
+                data, size, rng,
+                keep_edge_probability=rng.choice([1.0, 1.0, 0.5]),
+                start=rng.choice(component),
+            )
+        except GraphError:
+            pass  # stuck walk: fall through to the independent generator
+    alphabet = max(data.num_labels, 1)
+    return _labeled_connected(
+        rng, size, _span(rng, extra), alphabet, spec.label_exponent
+    )
+
+
+def _nec_heavy_query(rng: random.Random, data: Graph) -> Graph:
+    """Small hub structure plus many leaves drawn from few labels, so the
+    leaf stage sees large NEC classes."""
+    hubs = rng.randint(1, 3)
+    alphabet = max(data.num_labels, 1)
+    base = _labeled_connected(rng, hubs, rng.randint(0, 2), alphabet, 1.0)
+    labels = list(base.labels)
+    edges = list(base.edges())
+    leaf_labels = [rng.randrange(alphabet) for _ in range(min(2, alphabet))]
+    for _ in range(rng.randint(2, 5)):
+        hub = rng.randrange(hubs)
+        leaf = len(labels)
+        labels.append(rng.choice(leaf_labels))
+        edges.append((hub, leaf))
+    return Graph(labels, edges)
+
+
+def _disjoint_union(first: Graph, second: Graph) -> Graph:
+    offset = first.num_vertices
+    labels = list(first.labels) + list(second.labels)
+    edges = list(first.edges()) + [
+        (u + offset, v + offset) for u, v in second.edges()
+    ]
+    return Graph(labels, edges)
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _scenario_uniform(rng, spec):
+    data = _base_data(rng, spec, exponent=0.0)
+    return data, _query_for(rng, spec, data)
+
+
+def _scenario_dense(rng, spec):
+    n = _span(rng, spec.data_vertices)
+    data = _labeled_connected(rng, n, 2 * n, rng.randint(2, 3), 0.5)
+    return data, _query_for(rng, spec, data, extra_edges=(2, 6))
+
+
+def _scenario_sparse_forest(rng, spec):
+    """Tree-ish data, tree query: the pure forest/leaf regime."""
+    data = _labeled_connected(
+        rng, _span(rng, spec.data_vertices), rng.randint(0, 2),
+        _span(rng, spec.num_labels), spec.label_exponent,
+    )
+    return data, _query_for(rng, spec, data, extra_edges=(0, 0))
+
+
+def _scenario_skewed_labels(rng, spec):
+    data = _base_data(rng, replace(spec, num_labels=(4, 8)), exponent=2.5)
+    return data, _query_for(rng, spec, data)
+
+
+def _scenario_nec_heavy(rng, spec):
+    data = _base_data(rng, replace(spec, num_labels=(2, 3)))
+    return data, _nec_heavy_query(rng, data)
+
+
+def _scenario_empty_result(rng, spec):
+    """Query labels are shifted outside the data alphabet: zero
+    embeddings by construction, every matcher must agree on nothing."""
+    data = _base_data(rng, spec)
+    query = _query_for(rng, spec, data)
+    shift = max(data.labels, default=0) + 1
+    return data, Graph([lab + shift for lab in query.labels], list(query.edges()))
+
+
+def _scenario_single_vertex(rng, spec):
+    data = _base_data(rng, spec)
+    label = rng.choice(data.labels) if rng.random() < 0.8 else max(data.labels) + 1
+    return data, Graph([label], [])
+
+
+def _scenario_disconnected_data(rng, spec):
+    half = replace(spec, data_vertices=(3, max(3, spec.data_vertices[1] // 2)))
+    data = _disjoint_union(_base_data(rng, half), _base_data(rng, half))
+    return data, _query_for(rng, spec, data)
+
+
+def _scenario_disconnected_query(rng, spec):
+    """Deliberately unsupported input: matchers must reject it cleanly
+    (or enumerate it correctly), never crash or emit garbage."""
+    data = _base_data(rng, spec)
+    small = replace(spec, query_vertices=(1, 3))
+    query = _disjoint_union(
+        _query_for(rng, small, data), _query_for(rng, small, data)
+    )
+    return data, query
+
+
+def _scenario_twins(rng, spec):
+    """Duplicate-rich data (similar vertices) + NEC-heavy query: the
+    compression/leaf counting stress case."""
+    base = _base_data(rng, replace(spec, data_vertices=(5, 18), num_labels=(2, 3)))
+    data = add_similar_vertices(base, rng.uniform(0.1, 0.35), rng)
+    return data, _nec_heavy_query(rng, data)
+
+
+SCENARIOS: Dict[str, Callable[[random.Random, WorkloadSpec], Tuple[Graph, Graph]]] = {
+    "uniform": _scenario_uniform,
+    "dense": _scenario_dense,
+    "sparse-forest": _scenario_sparse_forest,
+    "skewed-labels": _scenario_skewed_labels,
+    "nec-heavy": _scenario_nec_heavy,
+    "empty-result": _scenario_empty_result,
+    "single-vertex": _scenario_single_vertex,
+    "disconnected-data": _scenario_disconnected_data,
+    "disconnected-query": _scenario_disconnected_query,
+    "twins": _scenario_twins,
+}
+
+DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(SCENARIOS)
+
+#: Scenario subset safe for matchers that require connected queries.
+CONNECTED_QUERY_SCENARIOS: Tuple[str, ...] = tuple(
+    name for name in SCENARIOS if name != "disconnected-query"
+)
+
+
+def generate_case(
+    seed: int, index: int, spec: WorkloadSpec = WorkloadSpec()
+) -> FuzzCase:
+    """The ``index``-th case of the stream identified by ``seed``.
+
+    String-seeding ``random.Random`` hashes with SHA-512, so streams are
+    stable across Python versions and processes.
+    """
+    names = spec.scenario_names()
+    scenario = names[index % len(names)]
+    case_seed = f"{seed}:{index}:{scenario}"
+    rng = random.Random(case_seed)
+    data, query = SCENARIOS[scenario](rng, spec)
+    return FuzzCase(index=index, scenario=scenario, seed=case_seed,
+                    data=data, query=query)
+
+
+def generate_cases(
+    seed: int, count: int, spec: WorkloadSpec = WorkloadSpec()
+) -> List[FuzzCase]:
+    """The first ``count`` cases of the seeded stream."""
+    return [generate_case(seed, index, spec) for index in range(count)]

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
 import random
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 import pytest
+from hypothesis import settings
 
 from repro.graph import Graph, random_connected_graph
+# The single reference oracle, shared with the fuzz engine (re-exported
+# here because many tests import it from tests.conftest).
+from repro.testing.oracles import brute_force_embeddings  # noqa: F401
+
+# Hypothesis profiles: "dev" keeps tier-1 wall time bounded; "ci" digs
+# deeper.  Select with HYPOTHESIS_PROFILE=ci (the CI workflow does).
+settings.register_profile("dev", max_examples=30, deadline=None)
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def nx_monomorphisms(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
@@ -32,34 +43,6 @@ def nx_monomorphisms(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
     for mapping in matcher.subgraph_monomorphisms_iter():
         inverse = {qv: dv for dv, qv in mapping.items()}
         result.add(tuple(inverse[u] for u in query.vertices()))
-    return result
-
-
-def brute_force_embeddings(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
-    """Tiny-instance oracle written independently of all matchers."""
-    n = query.num_vertices
-    result: Set[Tuple[int, ...]] = set()
-
-    def extend(mapping: List[int], used: Set[int]) -> None:
-        u = len(mapping)
-        if u == n:
-            result.add(tuple(mapping))
-            return
-        for v in data.vertices():
-            if v in used or data.label(v) != query.label(u):
-                continue
-            if all(
-                data.has_edge(mapping[w], v)
-                for w in query.neighbors(u)
-                if w < u
-            ):
-                mapping.append(v)
-                used.add(v)
-                extend(mapping, used)
-                mapping.pop()
-                used.remove(v)
-
-    extend([], set())
     return result
 
 

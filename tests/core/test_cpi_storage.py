@@ -1,7 +1,10 @@
 """Tests for the offset-based CPI storage (Section A.2)."""
 
+import json
+
 from repro.core import build_cpi
 from repro.core.cpi_storage import CompiledCPI
+from repro.testing.workloads import CONNECTED_QUERY_SCENARIOS, WorkloadSpec, generate_case
 from repro.workloads.paper_graphs import figure5_example, figure7_example
 from tests.conftest import random_instance
 
@@ -57,3 +60,50 @@ class TestCompile:
         for i in range(len(compiled.candidates[ex.q("u0")])):
             span = compiled.child_positions(u1, i)
             assert isinstance(span, list)
+
+
+class TestSerialization:
+    """Round-trip property: serialize -> deserialize -> identical
+    candidate sets and adjacency, driven by the fuzz workload generator."""
+
+    @staticmethod
+    def _compiled_for(case):
+        cpi = build_cpi(case.query, case.data, 0)
+        return cpi, CompiledCPI.from_cpi(cpi)
+
+    def test_round_trip_preserves_everything(self):
+        spec = WorkloadSpec(scenarios=CONNECTED_QUERY_SCENARIOS)
+        for index in range(18):
+            case = generate_case(512, index, spec)
+            cpi, compiled = self._compiled_for(case)
+            restored = CompiledCPI.from_dict(
+                json.loads(json.dumps(compiled.to_dict()))
+            )
+            assert restored.root == compiled.root
+            assert restored.parent == compiled.parent
+            assert restored.candidates == compiled.candidates
+            assert restored.row_index == compiled.row_index
+            assert restored.row_data == compiled.row_data
+            assert restored.size_in_integers() == compiled.size_in_integers()
+
+    def test_round_trip_preserves_adjacency_semantics(self):
+        spec = WorkloadSpec(scenarios=("nec-heavy", "dense", "twins"))
+        for index in range(9):
+            case = generate_case(1024, index, spec)
+            cpi, compiled = self._compiled_for(case)
+            restored = CompiledCPI.from_dict(compiled.to_dict())
+            for u in case.query.vertices():
+                p = cpi.tree.parent[u]
+                if p is None:
+                    continue
+                for i, v_p in enumerate(cpi.candidates[p]):
+                    assert restored.child_vertices(u, i) == compiled.child_vertices(u, i)
+                    assert sorted(restored.child_vertices(u, i)) == sorted(
+                        cpi.child_candidates(u, v_p)
+                    )
+
+    def test_root_parent_is_null_in_json(self):
+        case = generate_case(2048, 0)
+        _, compiled = self._compiled_for(case)
+        payload = json.loads(json.dumps(compiled.to_dict()))
+        assert payload["parent"][compiled.root] is None

@@ -7,6 +7,7 @@ import pytest
 from repro.core import CFLMatch
 from repro.core.parallel import _chunks, parallel_count, parallel_search
 from repro.graph import Graph, random_connected_graph
+from repro.testing.workloads import CONNECTED_QUERY_SCENARIOS, WorkloadSpec, generate_case
 from repro.workloads.paper_graphs import figure1_example
 
 
@@ -91,3 +92,34 @@ class TestParallel:
         ex = figure1_example(8, 8)
         count = parallel_count(ex.data, ex.query, workers=2, cpi_mode="td")
         assert count == 8
+
+
+class TestParallelDifferential:
+    """Differential coverage: the parallel matcher must return the exact
+    sequential embedding set on a broad seeded workload sweep."""
+
+    def test_matches_sequential_on_fuzz_workloads(self):
+        spec = WorkloadSpec(scenarios=CONNECTED_QUERY_SCENARIOS)
+        checked = 0
+        scenarios_seen = set()
+        empties = 0
+        index = 0
+        while checked < 20:
+            case = generate_case(8128, index, spec)
+            index += 1
+            sequential = set(CFLMatch(case.data).search(case.query))
+            parallel = set(
+                parallel_search(case.data, case.query, workers=2)
+            )
+            assert parallel == sequential, case.describe()
+            assert parallel_count(case.data, case.query, workers=2) == len(
+                sequential
+            ), case.describe()
+            checked += 1
+            scenarios_seen.add(case.scenario)
+            if not sequential:
+                empties += 1
+        # The sweep must include the tricky regimes, not just easy cases.
+        assert "nec-heavy" in scenarios_seen
+        assert "empty-result" in scenarios_seen
+        assert empties >= 1

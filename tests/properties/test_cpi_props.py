@@ -1,13 +1,12 @@
 """Property-based tests on CPI soundness (Theorem 4.1 / Lemmas 5.2-5.3)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.core import build_cpi, build_naive_cpi
 from tests.conftest import brute_force_embeddings
 from tests.properties.strategies import query_data_pairs
 
 
-@settings(max_examples=50, deadline=None)
 @given(query_data_pairs())
 def test_cpi_soundness_all_builders(pair):
     """Every true embedding image survives in u.C and in the adjacency
@@ -28,7 +27,6 @@ def test_cpi_soundness_all_builders(pair):
                     assert emb[u] in cpi.child_candidates(u, emb[p])
 
 
-@settings(max_examples=50, deadline=None)
 @given(query_data_pairs())
 def test_refinement_monotone(pair):
     """Bottom-up refinement only ever shrinks candidate sets."""
@@ -42,7 +40,6 @@ def test_refinement_monotone(pair):
         )
 
 
-@settings(max_examples=50, deadline=None)
 @given(query_data_pairs())
 def test_cpi_edges_exist_in_data(pair):
     """No false edges: every CPI adjacency entry is a data edge with
@@ -56,7 +53,6 @@ def test_cpi_edges_exist_in_data(pair):
                 assert v in cpi.cand_sets[u]
 
 
-@settings(max_examples=50, deadline=None)
 @given(query_data_pairs())
 def test_candidates_pass_label_filter(pair):
     query, data = pair
@@ -67,7 +63,6 @@ def test_candidates_pass_label_filter(pair):
             assert data.degree(v) >= query.degree(u)
 
 
-@settings(max_examples=40, deadline=None)
 @given(query_data_pairs())
 def test_cpi_size_within_bound(pair):
     """Section 4.1: |CPI| = O(|V(q)| x |E(G)|) — checked concretely."""

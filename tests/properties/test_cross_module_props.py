@@ -1,6 +1,6 @@
 """Cross-module invariants tying independent components together."""
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.core import (
     CFLMatch,
@@ -14,7 +14,6 @@ from repro.baselines import QuickSIMatch
 from tests.properties.strategies import query_data_pairs
 
 
-@settings(max_examples=35, deadline=None)
 @given(query_data_pairs())
 def test_cost_model_final_breadth_is_embedding_count(pair):
     """B_n of the Section-2.1 model equals the true embedding count,
@@ -25,7 +24,6 @@ def test_cost_model_final_breadth_is_embedding_count(pair):
     assert breakdown.breadths[-1] == CFLMatch(data).count(query)
 
 
-@settings(max_examples=35, deadline=None)
 @given(query_data_pairs())
 def test_estimates_are_monotone_across_builders(pair):
     """Cardinality estimates shrink with stronger filtering and never
@@ -38,7 +36,6 @@ def test_estimates_are_monotone_across_builders(pair):
     assert naive >= top_down >= refined >= exact
 
 
-@settings(max_examples=30, deadline=None)
 @given(query_data_pairs())
 def test_compiled_cpi_round_trips_any_builder(pair):
     """The A.2 offset representation preserves every adjacency list of
@@ -58,7 +55,6 @@ def test_compiled_cpi_round_trips_any_builder(pair):
                 )
 
 
-@settings(max_examples=30, deadline=None)
 @given(query_data_pairs())
 def test_stage_nodes_account_for_all_search_work(pair):
     """run()'s per-stage counters always sum to the total node count."""

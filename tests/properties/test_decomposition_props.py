@@ -1,6 +1,6 @@
 """Property-based tests on the CFL decomposition and k-core."""
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.core import cfl_decompose
 from repro.graph import core_numbers, k_core_vertices, two_core_vertices
@@ -8,13 +8,11 @@ from repro.graph import core_numbers, k_core_vertices, two_core_vertices
 from tests.properties.strategies import connected_graphs
 
 
-@settings(max_examples=80, deadline=None)
 @given(connected_graphs())
 def test_two_core_equals_bucket_kcore(g):
     assert two_core_vertices(g) == k_core_vertices(g, 2)
 
 
-@settings(max_examples=80, deadline=None)
 @given(connected_graphs())
 def test_core_numbers_bounded_by_degree(g):
     numbers = core_numbers(g)
@@ -22,7 +20,6 @@ def test_core_numbers_bounded_by_degree(g):
         assert 0 <= numbers[v] <= g.degree(v)
 
 
-@settings(max_examples=80, deadline=None)
 @given(connected_graphs())
 def test_decomposition_partitions_query(q):
     d = cfl_decompose(q)
@@ -32,7 +29,6 @@ def test_decomposition_partitions_query(q):
     assert not d.forest_set & d.leaf_set
 
 
-@settings(max_examples=80, deadline=None)
 @given(connected_graphs(min_vertices=2))
 def test_leaves_have_degree_one_and_forest_at_least_two(q):
     d = cfl_decompose(q)
@@ -42,7 +38,6 @@ def test_leaves_have_degree_one_and_forest_at_least_two(q):
         assert q.degree(u) >= 2
 
 
-@settings(max_examples=80, deadline=None)
 @given(connected_graphs(min_vertices=2))
 def test_core_plus_forest_is_connected(q):
     """q[V_C u V_T] must be connected for a connected matching order."""
@@ -51,7 +46,6 @@ def test_core_plus_forest_is_connected(q):
     assert combined.is_connected()
 
 
-@settings(max_examples=80, deadline=None)
 @given(connected_graphs(min_vertices=2))
 def test_non_tree_edges_live_in_core(q):
     """Lemma 3.1: every non-tree edge of any BFS tree joins core vertices."""

@@ -1,6 +1,6 @@
 """Property-based tests on the Graph substrate."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.graph import dumps_edge_list, dumps_graph, loads_edge_list, loads_graph
@@ -8,20 +8,17 @@ from repro.graph import dumps_edge_list, dumps_graph, loads_edge_list, loads_gra
 from tests.properties.strategies import connected_graphs
 
 
-@settings(max_examples=60, deadline=None)
 @given(connected_graphs())
 def test_degree_sum_is_twice_edges(g):
     assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
 
 
-@settings(max_examples=60, deadline=None)
 @given(connected_graphs())
 def test_nlf_sums_to_degree(g):
     for v in g.vertices():
         assert sum(g.nlf(v).values()) == g.degree(v)
 
 
-@settings(max_examples=60, deadline=None)
 @given(connected_graphs())
 def test_mnd_is_max_neighbor_degree(g):
     for v in g.vertices():
@@ -29,14 +26,12 @@ def test_mnd_is_max_neighbor_degree(g):
         assert g.mnd(v) == expected
 
 
-@settings(max_examples=60, deadline=None)
 @given(connected_graphs())
 def test_label_index_partitions_vertices(g):
     seen = sorted(v for vs in g.label_index().values() for v in vs)
     assert seen == list(g.vertices())
 
 
-@settings(max_examples=60, deadline=None)
 @given(connected_graphs())
 def test_bfs_tree_levels_increase_by_one(g):
     parent, level = g.bfs_tree(0)
@@ -48,7 +43,6 @@ def test_bfs_tree_levels_increase_by_one(g):
     assert all(level[v] >= 1 for v in g.vertices())
 
 
-@settings(max_examples=60, deadline=None)
 @given(connected_graphs(), st.data())
 def test_induced_subgraph_edges_match(g, data):
     if g.num_vertices == 0:
@@ -69,7 +63,6 @@ def test_induced_subgraph_edges_match(g, data):
     assert sub.num_edges == expected
 
 
-@settings(max_examples=50, deadline=None)
 @given(connected_graphs())
 def test_serialization_round_trips(g):
     assert loads_graph(dumps_graph(g)) == g

@@ -1,13 +1,12 @@
 """Fuzz tests: parsers must raise GraphError (never crash) on any input."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.graph import GraphError, loads_edge_list, loads_graph
 
 
-@settings(max_examples=150, deadline=None)
 @given(st.text(max_size=300))
 def test_loads_graph_never_crashes(text):
     try:
@@ -19,7 +18,6 @@ def test_loads_graph_never_crashes(text):
     assert all(lab >= 0 or lab != -1 for lab in graph.labels)
 
 
-@settings(max_examples=150, deadline=None)
 @given(st.text(max_size=300))
 def test_loads_edge_list_never_crashes(text):
     try:
@@ -29,7 +27,6 @@ def test_loads_edge_list_never_crashes(text):
     assert graph.num_vertices >= 0
 
 
-@settings(max_examples=100, deadline=None)
 @given(
     st.lists(
         st.tuples(

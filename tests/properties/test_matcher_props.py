@@ -1,6 +1,6 @@
 """Property-based tests on matcher correctness and API contracts."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.baselines import BoostMatch, QuickSIMatch, TurboISOMatch, UllmannMatch, VF2Match
@@ -9,7 +9,6 @@ from tests.conftest import brute_force_embeddings
 from tests.properties.strategies import query_data_pairs
 
 
-@settings(max_examples=40, deadline=None)
 @given(query_data_pairs())
 def test_cfl_variants_equal_brute_force(pair):
     query, data = pair
@@ -19,7 +18,6 @@ def test_cfl_variants_equal_brute_force(pair):
         assert got == truth, mode
 
 
-@settings(max_examples=30, deadline=None)
 @given(query_data_pairs())
 def test_baselines_equal_brute_force(pair):
     query, data = pair
@@ -31,7 +29,6 @@ def test_baselines_equal_brute_force(pair):
         assert set(matcher.search(query)) == truth, matcher.name
 
 
-@settings(max_examples=40, deadline=None)
 @given(query_data_pairs())
 def test_all_results_are_valid_embeddings(pair):
     query, data = pair
@@ -39,7 +36,6 @@ def test_all_results_are_valid_embeddings(pair):
         assert validate_embedding(query, data, emb)
 
 
-@settings(max_examples=40, deadline=None)
 @given(query_data_pairs(), st.integers(0, 10))
 def test_limit_contract(pair, limit):
     query, data = pair
@@ -50,7 +46,6 @@ def test_limit_contract(pair, limit):
     assert len(set(got)) == len(got)  # no duplicates
 
 
-@settings(max_examples=40, deadline=None)
 @given(query_data_pairs())
 def test_count_equals_enumeration_length(pair):
     query, data = pair
@@ -58,7 +53,6 @@ def test_count_equals_enumeration_length(pair):
     assert matcher.count(query) == sum(1 for _ in matcher.search(query))
 
 
-@settings(max_examples=30, deadline=None)
 @given(query_data_pairs())
 def test_boost_count_equals_enumeration(pair):
     """The m!/(m-k)! expansion arithmetic agrees with actual expansion."""
@@ -67,7 +61,6 @@ def test_boost_count_equals_enumeration(pair):
     assert matcher.count(query) == sum(1 for _ in matcher.search(query))
 
 
-@settings(max_examples=30, deadline=None)
 @given(query_data_pairs())
 def test_search_is_deterministic(pair):
     query, data = pair

@@ -1,6 +1,6 @@
 """Property-based tests for the edge-labeled and directed reductions."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.graph.directed import (
@@ -64,7 +64,6 @@ def digraphs(draw, min_vertices=1, max_vertices=5, vlabels=2, alabels=2):
     return DiGraph(vertex_labels, tuple(arcs))
 
 
-@settings(max_examples=40, deadline=None)
 @given(edge_labeled_graphs(max_vertices=4), edge_labeled_graphs(max_vertices=6))
 def test_edge_labeled_results_are_valid_and_complete(query, data):
     got = set(match_edge_labeled(query, data))
@@ -81,7 +80,6 @@ def test_edge_labeled_results_are_valid_and_complete(query, data):
     assert got == expected
 
 
-@settings(max_examples=40, deadline=None)
 @given(digraphs(max_vertices=4), digraphs(max_vertices=5))
 def test_directed_results_are_valid_and_complete(query, data):
     got = set(match_directed(query, data))
@@ -97,7 +95,6 @@ def test_directed_results_are_valid_and_complete(query, data):
     assert got == expected
 
 
-@settings(max_examples=30, deadline=None)
 @given(edge_labeled_graphs(min_vertices=2, max_vertices=5))
 def test_edge_labeled_self_match(graph):
     """Every edge-labeled graph embeds in itself (identity mapping)."""
@@ -106,7 +103,6 @@ def test_edge_labeled_self_match(graph):
     assert identity in set(match_edge_labeled(graph, graph))
 
 
-@settings(max_examples=30, deadline=None)
 @given(digraphs(min_vertices=2, max_vertices=4))
 def test_directed_self_match(graph):
     identity = tuple(range(graph.num_vertices))

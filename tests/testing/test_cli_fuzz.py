@@ -1,0 +1,41 @@
+"""Tests for the ``cfl-match fuzz`` subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def test_fuzz_clean_run_exits_zero(capsys):
+    code = main([
+        "fuzz", "--seed", "3", "--budget-seconds", "20", "--max-cases", "20",
+        "--matchers", "CFL-Match", "VF2", "QuickSI", "--no-corpus",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no mismatches" in out
+
+
+def test_fuzz_json_report_to_stdout(capsys):
+    code = main([
+        "fuzz", "--seed", "4", "--budget-seconds", "20", "--max-cases", "10",
+        "--matchers", "CFL-Match", "Ullmann", "--no-corpus", "--json", "-",
+        "--no-metamorphic",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out[out.index("{"):])
+    assert payload["ok"] is True
+    assert payload["seed"] == 4
+    assert payload["matchers"] == ["CFL-Match", "Ullmann"]
+
+
+def test_fuzz_json_report_to_file(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main([
+        "fuzz", "--seed", "5", "--budget-seconds", "20", "--max-cases", "5",
+        "--matchers", "CFL-Match", "--no-corpus", "--json", str(report_path),
+        "--no-metamorphic",
+    ])
+    assert code == 0
+    payload = json.loads(report_path.read_text())
+    assert payload["cases_run"] + payload["cases_skipped"] == 5

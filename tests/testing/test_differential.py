@@ -1,0 +1,112 @@
+"""Tests for the differential runner (including a broken-matcher canary)."""
+
+import pytest
+
+from repro.bench.harness import MATCHERS
+from repro.core.matcher import CFLMatch
+from repro.graph import Graph
+from repro.testing.differential import (
+    Mismatch,
+    differential_check,
+    run_matcher,
+)
+from repro.testing.workloads import generate_case
+
+
+class DropVertexZeroMatch(CFLMatch):
+    """Deliberately broken: silently drops every embedding using data
+    vertex 0 (the class of bug enumeration-order optimizations cause)."""
+
+    name = "DropVertexZero"
+
+    def search(self, query, **kwargs):
+        for embedding in super().search(query, **kwargs):
+            if 0 not in embedding:
+                yield embedding
+
+
+@pytest.fixture
+def broken_registry():
+    MATCHERS["DropVertexZero"] = lambda g: DropVertexZeroMatch(g)
+    try:
+        yield
+    finally:
+        del MATCHERS["DropVertexZero"]
+
+
+class TestRunMatcher:
+    def test_ok_outcome(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1], [(0, 1)])
+        outcome = run_matcher("CFL-Match", data, query)
+        assert outcome.status == "ok"
+        assert outcome.embeddings == [(0, 1)]
+
+    def test_disconnected_query_rejection_is_not_an_error(self):
+        data = Graph([0, 1], [(0, 1)])
+        query = Graph([0, 1], [])
+        outcome = run_matcher("CFL-Match", data, query)
+        assert outcome.status == "rejected"
+
+    def test_all_registered_matchers_handle_disconnected_queries(self):
+        """Every matcher either rejects cleanly or answers; no crashes,
+        no partial mappings (the TurboISO/Boost regression)."""
+        data = Graph([0, 1, 0, 1], [(0, 1), (1, 2), (2, 3)])
+        query = Graph([0, 1], [])
+        for name in sorted(MATCHERS):
+            outcome = run_matcher(name, data, query)
+            assert outcome.status in ("ok", "rejected"), (name, outcome.error)
+            if outcome.status == "ok":
+                assert all(-1 not in e for e in outcome.embeddings), name
+
+
+class TestDifferentialCheck:
+    def test_zero_mismatches_on_current_code(self):
+        for index in range(30):
+            case = generate_case(20160626, index)
+            mismatches = differential_check(case.data, case.query)
+            assert mismatches == [], (case.describe(), mismatches)
+
+    def test_unknown_matcher_raises(self):
+        data = Graph([0], [])
+        with pytest.raises(KeyError):
+            differential_check(data, data, matchers=["NoSuchMatcher"])
+
+    def test_broken_matcher_detected(self, broken_registry):
+        data = Graph([0, 0, 1], [(0, 1), (0, 2), (1, 2)])
+        query = Graph([0, 1], [(0, 1)])
+        mismatches = differential_check(
+            data, query, matchers=["CFL-Match", "DropVertexZero"]
+        )
+        assert len(mismatches) == 1
+        mismatch = mismatches[0]
+        assert mismatch.matcher == "DropVertexZero"
+        assert mismatch.kind == "differential"
+        assert "missing" in mismatch.detail
+
+    def test_crashing_matcher_reported_as_crash(self):
+        class ExplodingMatch(CFLMatch):
+            def search(self, query, **kwargs):
+                raise RuntimeError("boom")
+
+        MATCHERS["Exploding"] = lambda g: ExplodingMatch(g)
+        try:
+            data = Graph([0, 1], [(0, 1)])
+            query = Graph([0, 1], [(0, 1)])
+            mismatches = differential_check(
+                data, query, matchers=["CFL-Match", "Exploding"]
+            )
+        finally:
+            del MATCHERS["Exploding"]
+        assert [m.kind for m in mismatches] == ["crash"]
+        assert "boom" in mismatches[0].detail
+
+    def test_limit_skips_set_comparison(self):
+        data = Graph([0, 0, 0], [(0, 1), (1, 2), (0, 2)])
+        query = Graph([0, 0], [(0, 1)])
+        assert differential_check(data, query, limit=2) == []
+
+    def test_mismatch_describe(self):
+        mismatch = Mismatch("X", "differential", "detail here")
+        assert "X" in mismatch.describe()
+        assert "differential" in mismatch.describe()

@@ -1,0 +1,117 @@
+"""Injected-bug self-test: the fuzz engine must detect a deliberately
+broken matcher and emit a minimized reproducer into ``tests/corpus/``.
+
+This is the end-to-end guarantee future perf PRs lean on: if the engine
+ever stops catching this bug class, this test fails before any real bug
+slips through.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import MATCHERS
+from repro.core.matcher import CFLMatch
+from repro.testing.corpus import graph_from_dict
+from repro.testing.engine import run_fuzz
+from repro.testing.oracles import brute_force_embeddings
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+
+class TruncatingMatch(CFLMatch):
+    """Deliberately broken: stops one embedding early (the classic
+    off-by-one an enumeration optimization can introduce)."""
+
+    name = "Truncating"
+
+    def search(self, query, **kwargs):
+        previous = None
+        for embedding in super().search(query, **kwargs):
+            if previous is not None:
+                yield previous
+            previous = embedding
+        # the final embedding is silently dropped
+
+
+@pytest.fixture
+def truncating_registry():
+    MATCHERS["Truncating"] = lambda g: TruncatingMatch(g)
+    try:
+        yield
+    finally:
+        del MATCHERS["Truncating"]
+
+
+def test_engine_detects_injected_bug_and_writes_corpus(truncating_registry):
+    before = set(CORPUS_DIR.glob("*.json")) if CORPUS_DIR.is_dir() else set()
+    created = []
+    try:
+        report = run_fuzz(
+            seed=20160626,
+            budget_seconds=30.0,
+            matchers=["CFL-Match", "Truncating"],
+            corpus_dir=CORPUS_DIR,
+            max_failures=1,
+        )
+        created = [p for p in CORPUS_DIR.glob("*.json") if p not in before]
+
+        assert not report.ok
+        record = report.mismatches[0]
+        assert record.matcher == "Truncating"
+        assert record.kind == "differential"
+        assert record.reproducer is not None
+
+        # The reproducer landed in tests/corpus/ and is minimal: one
+        # embedding suffices to witness "drops the last embedding".
+        assert created, "no reproducer written to tests/corpus/"
+        payload = json.loads(Path(record.reproducer).read_text())
+        data = graph_from_dict(payload["data"])
+        query = graph_from_dict(payload["query"])
+        assert query.num_vertices == 1
+        assert data.num_vertices == 1
+        assert len(brute_force_embeddings(query, data)) == 1
+        assert record.minimized_query == {"vertices": 1, "edges": 0}
+    finally:
+        # The injected bug is synthetic — do not leave its reproducer in
+        # the permanent corpus.
+        for path in created:
+            path.unlink()
+
+
+def test_engine_clean_run_writes_nothing(tmp_path):
+    report = run_fuzz(
+        seed=1,
+        budget_seconds=20.0,
+        matchers=["CFL-Match", "VF2", "QuickSI"],
+        max_cases=25,
+        corpus_dir=tmp_path,
+    )
+    assert report.ok
+    assert report.cases_run > 0
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_report_json_round_trip(tmp_path):
+    report = run_fuzz(
+        seed=2, budget_seconds=10.0, matchers=["CFL-Match"],
+        max_cases=5, metamorphic=False,
+    )
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is True
+    assert payload["cases_run"] == report.cases_run
+    assert payload["seed"] == 2
+
+
+def test_unknown_matcher_rejected():
+    with pytest.raises(KeyError):
+        run_fuzz(seed=0, budget_seconds=1.0, matchers=["Nope"])
+
+
+def test_max_cases_bounds_work():
+    report = run_fuzz(
+        seed=3, budget_seconds=60.0, matchers=["CFL-Match", "VF2"],
+        max_cases=7, metamorphic=False,
+    )
+    assert report.cases_run + report.cases_skipped == 7

@@ -1,0 +1,55 @@
+"""Tests for the shared oracle module."""
+
+import random
+
+from repro.graph import Graph
+from repro.testing.oracles import (
+    brute_force_cost_estimate,
+    brute_force_count,
+    brute_force_embeddings,
+    is_brute_force_tractable,
+)
+from tests.conftest import nx_monomorphisms, random_instance
+
+
+class TestBruteForce:
+    def test_agrees_with_networkx(self, rng):
+        for _ in range(15):
+            data, query = random_instance(rng)
+            assert brute_force_embeddings(query, data) == nx_monomorphisms(
+                query, data
+            )
+
+    def test_count_matches_set_size(self, rng):
+        data, query = random_instance(rng)
+        assert brute_force_count(query, data) == len(
+            brute_force_embeddings(query, data)
+        )
+
+    def test_disconnected_query_supported(self):
+        data = Graph([0, 1, 0], [(0, 1), (1, 2)])
+        query = Graph([0, 0], [])  # two isolated query vertices
+        embeddings = brute_force_embeddings(query, data)
+        assert embeddings == {(0, 2), (2, 0)}
+
+    def test_conftest_reexport_is_same_object(self):
+        from tests.conftest import brute_force_embeddings as reexported
+
+        assert reexported is brute_force_embeddings
+
+
+class TestTractability:
+    def test_estimate_is_label_frequency_product(self):
+        data = Graph([0, 0, 0, 1], [(0, 3), (1, 3), (2, 3)])
+        query = Graph([0, 1], [(0, 1)])
+        assert brute_force_cost_estimate(query, data) == 3.0
+
+    def test_small_instances_tractable(self):
+        rng = random.Random(0)
+        data, query = random_instance(rng)
+        assert is_brute_force_tractable(query, data)
+
+    def test_budget_enforced(self):
+        data = Graph([0] * 30, [(u, u + 1) for u in range(29)])
+        query = Graph([0] * 8, [(u, u + 1) for u in range(7)])
+        assert not is_brute_force_tractable(query, data, budget=1e6)

@@ -1,0 +1,96 @@
+"""Tests for the delta-debugging shrinker."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.testing.differential import differential_check
+from repro.testing.oracles import brute_force_embeddings
+from repro.testing.shrinker import shrink_case
+from repro.testing.workloads import generate_case
+
+
+class TestShrinkBasics:
+    def test_requires_initially_failing_instance(self):
+        data = Graph([0], [])
+        with pytest.raises(ValueError):
+            shrink_case(data, data, lambda d, q: False)
+
+    def test_structural_predicate_minimized(self):
+        """A failure that only needs one data edge shrinks to (almost)
+        nothing else."""
+        case = generate_case(7, 1)  # a dense case
+
+        def failing(data, query):
+            return data.num_edges >= 1 and query.num_vertices >= 1
+
+        result = shrink_case(case.data, case.query, failing)
+        assert result.data.num_vertices == 2
+        assert result.data.num_edges == 1
+        assert result.query.num_vertices == 1
+        assert failing(result.data, result.query)
+
+    def test_exceptions_in_predicate_count_as_pass(self):
+        data = Graph([0, 0], [(0, 1)])
+        query = Graph([0], [])
+
+        def failing(d, q):
+            if d.num_vertices < 2:
+                raise RuntimeError("probe exploded")
+            return True
+
+        result = shrink_case(data, query, failing)
+        assert result.data.num_vertices == 2  # smaller probes all "passed"
+
+    def test_check_budget_respected(self):
+        case = generate_case(0, 0)
+        result = shrink_case(
+            case.data, case.query, lambda d, q: True, max_checks=25
+        )
+        assert result.checks <= 25
+
+    def test_connected_query_stays_connected(self):
+        case = generate_case(11, 0)
+        assert case.query.is_connected()
+        result = shrink_case(case.data, case.query, lambda d, q: True)
+        assert result.query.is_connected()
+        assert result.query.num_vertices == 1
+
+
+class TestShrinkRealMismatch:
+    def test_broken_matcher_failure_minimized(self):
+        """End-to-end: a differential failure shrinks to a tiny instance
+        that still reproduces it."""
+        from repro.bench.harness import MATCHERS
+        from repro.core.matcher import CFLMatch
+
+        class DropAll(CFLMatch):
+            def search(self, query, **kwargs):
+                return iter(())
+
+        MATCHERS["DropAll"] = lambda g: DropAll(g)
+        try:
+            # Start from a case with embeddings.
+            case = None
+            for index in range(20):
+                candidate = generate_case(5, index)
+                if candidate.query.is_connected() and brute_force_embeddings(
+                    candidate.query, candidate.data
+                ):
+                    case = candidate
+                    break
+            assert case is not None
+
+            def failing(data, query):
+                found = differential_check(
+                    data, query, matchers=["CFL-Match", "DropAll"]
+                )
+                return any(m.matcher == "DropAll" for m in found)
+
+            result = shrink_case(case.data, case.query, failing)
+        finally:
+            del MATCHERS["DropAll"]
+
+        # Minimal witness of "returns nothing": a single matching vertex.
+        assert result.query.num_vertices == 1
+        assert result.data.num_vertices == 1
+        assert result.data.label(0) == result.query.label(0)

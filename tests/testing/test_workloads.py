@@ -1,0 +1,104 @@
+"""Tests for the seeded fuzz workload generator."""
+
+from repro.testing.oracles import brute_force_embeddings
+from repro.testing.workloads import (
+    DEFAULT_SCENARIOS,
+    SCENARIOS,
+    WorkloadSpec,
+    generate_case,
+    generate_cases,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        a = generate_case(42, 5)
+        b = generate_case(42, 5)
+        assert a.data == b.data
+        assert a.query == b.query
+        assert a.seed == b.seed
+
+    def test_different_seeds_differ(self):
+        cases_a = generate_cases(1, 10)
+        cases_b = generate_cases(2, 10)
+        assert any(
+            x.data != y.data or x.query != y.query
+            for x, y in zip(cases_a, cases_b)
+        )
+
+    def test_scenarios_rotate_by_index(self):
+        names = [generate_case(0, i).scenario for i in range(len(DEFAULT_SCENARIOS))]
+        assert names == list(DEFAULT_SCENARIOS)
+
+
+class TestScenarioShapes:
+    def test_every_scenario_produces_valid_graphs(self):
+        for index, name in enumerate(DEFAULT_SCENARIOS):
+            for round_ in range(3):
+                case = generate_case(round_, index)
+                assert case.scenario == name
+                assert case.data.num_vertices >= 1
+                assert case.query.num_vertices >= 1
+                assert case.describe()  # renders without error
+
+    def test_empty_result_scenario_has_zero_embeddings(self):
+        index = DEFAULT_SCENARIOS.index("empty-result")
+        for seed in range(4):
+            case = generate_case(seed, index)
+            assert brute_force_embeddings(case.query, case.data) == set()
+
+    def test_disconnected_query_scenario_is_disconnected(self):
+        index = DEFAULT_SCENARIOS.index("disconnected-query")
+        for seed in range(4):
+            case = generate_case(seed, index)
+            assert not case.query.is_connected()
+
+    def test_disconnected_data_scenario_is_disconnected(self):
+        index = DEFAULT_SCENARIOS.index("disconnected-data")
+        for seed in range(4):
+            case = generate_case(seed, index)
+            assert not case.data.is_connected()
+
+    def test_nec_heavy_queries_have_leaf_fringe(self):
+        index = DEFAULT_SCENARIOS.index("nec-heavy")
+        for seed in range(4):
+            case = generate_case(seed, index)
+            leaves = [
+                u for u in case.query.vertices() if case.query.degree(u) == 1
+            ]
+            assert len(leaves) >= 2
+
+    def test_single_vertex_scenario(self):
+        index = DEFAULT_SCENARIOS.index("single-vertex")
+        case = generate_case(0, index)
+        assert case.query.num_vertices == 1
+        assert case.query.num_edges == 0
+
+
+class TestSpecKnobs:
+    def test_custom_scenario_subset(self):
+        spec = WorkloadSpec(scenarios=("dense", "uniform"))
+        names = [generate_case(0, i, spec).scenario for i in range(4)]
+        assert names == ["dense", "uniform", "dense", "uniform"]
+
+    def test_size_bounds_respected(self):
+        spec = WorkloadSpec(
+            data_vertices=(4, 6), query_vertices=(2, 3),
+            scenarios=("uniform", "sparse-forest", "skewed-labels"),
+        )
+        for i in range(9):
+            case = generate_case(0, i, spec)
+            assert 4 <= case.data.num_vertices <= 6
+            assert 1 <= case.query.num_vertices <= 6  # walk caps at component
+
+    def test_unknown_scenario_raises(self):
+        spec = WorkloadSpec(scenarios=("no-such-scenario",))
+        try:
+            generate_case(0, 0, spec)
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError for unknown scenario")
+
+    def test_registry_and_default_agree(self):
+        assert set(DEFAULT_SCENARIOS) == set(SCENARIOS)
