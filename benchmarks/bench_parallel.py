@@ -1,0 +1,218 @@
+"""Benchmark the shared-plan parallel execution engine.
+
+Measures, on a dense-core fuzz workload:
+
+* the worker scaling curve (wall-clock for ``parallel_count`` at
+  1/2/4/8 workers and the speedup over 1 worker),
+* how many times ``prepare()`` actually ran per parallel query
+  (the shared-plan engine's invariant: exactly one),
+* ``MatcherPool`` serving throughput over a stream of repeated
+  queries versus re-forking a fresh pool per query, and
+* the ``CFLMatch`` plan-cache hit behaviour that backs the pool.
+
+Results land in ``BENCH_parallel.json`` (override with ``--out``).
+Speedup numbers are only meaningful on multi-core machines; the
+``cpus`` field records what was available so a flat curve on a
+1-CPU container is interpretable rather than misleading.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core import CFLMatch, MatcherPool
+from repro.core.parallel import parallel_count
+from repro.testing.workloads import WorkloadSpec, generate_case
+
+
+def _dense_spec(data_vertices: int, query_vertices: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        scenarios=("dense",),
+        data_vertices=(data_vertices, data_vertices),
+        query_vertices=(query_vertices, query_vertices),
+    )
+
+
+def _prepare_counter():
+    """Fork-shared counter patched into ``CFLMatch._prepare_fresh`` so
+    worker-side prepares (if any) are counted alongside the parent's."""
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    counter = ctx.Value("i", 0)
+    original = CFLMatch._prepare_fresh
+
+    def counted(self, query):
+        with counter.get_lock():
+            counter.value += 1
+        return original(self, query)
+
+    return counter, counted, original
+
+
+def bench_scaling(case, worker_counts: List[int], repeats: int) -> Dict:
+    rows = []
+    expected: Optional[int] = None
+    for workers in worker_counts:
+        counter, counted, original = _prepare_counter()
+        CFLMatch._prepare_fresh = counted
+        try:
+            best = float("inf")
+            total = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                total = parallel_count(case.data, case.query, workers=workers)
+                best = min(best, time.perf_counter() - started)
+        finally:
+            CFLMatch._prepare_fresh = original
+        if expected is None:
+            expected = total
+        elif total != expected:
+            raise AssertionError(
+                f"workers={workers} counted {total}, expected {expected}"
+            )
+        rows.append(
+            {
+                "workers": workers,
+                "wall_s": round(best, 4),
+                "embeddings": total,
+                "prepares_per_query": counter.value // repeats,
+            }
+        )
+    base = rows[0]["wall_s"]
+    for row in rows:
+        row["speedup_vs_1_worker"] = round(base / row["wall_s"], 2) if row["wall_s"] else None
+    return {"embeddings": expected, "rows": rows}
+
+
+def bench_pool_serving(case, workers: int, queries: int) -> Dict:
+    """One persistent pool serving a stream vs a fresh engine per query."""
+    started = time.perf_counter()
+    with MatcherPool(case.data, workers=workers) as pool:
+        for _ in range(queries):
+            pool.count(case.query)
+        cache = {
+            "prepare_count": pool.matcher.prepare_count,
+            "plan_cache_hits": pool.matcher.plan_cache_hits,
+        }
+    pooled = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(queries):
+        parallel_count(case.data, case.query, workers=workers)
+    fresh = time.perf_counter() - started
+
+    return {
+        "workers": workers,
+        "queries": queries,
+        "pool_wall_s": round(pooled, 4),
+        "fresh_engine_wall_s": round(fresh, 4),
+        "pool_ms_per_query": round(1000 * pooled / queries, 2),
+        "fresh_ms_per_query": round(1000 * fresh / queries, 2),
+        "pool_speedup": round(fresh / pooled, 2) if pooled else None,
+        "plan_cache": cache,
+    }
+
+
+def bench_plan_cache(case, queries: int) -> Dict:
+    matcher = CFLMatch(case.data)
+    cold_started = time.perf_counter()
+    matcher.count(case.query)
+    cold = time.perf_counter() - cold_started
+    warm_started = time.perf_counter()
+    for _ in range(queries - 1):
+        matcher.count(case.query)
+    warm = (time.perf_counter() - warm_started) / max(queries - 1, 1)
+    return {
+        "queries": queries,
+        "prepare_count": matcher.prepare_count,
+        "plan_cache_hits": matcher.plan_cache_hits,
+        "cold_ms": round(1000 * cold, 2),
+        "warm_ms_per_query": round(1000 * warm, 2),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--seed", type=int, default=20160626)
+    parser.add_argument("--index", type=int, default=2, help="case index in the stream")
+    parser.add_argument("--data-vertices", type=int, default=2000)
+    parser.add_argument("--query-vertices", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--serving-queries", type=int, default=8)
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="worker counts for the scaling curve",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: small graph, workers 1 and 2, one repeat",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.data_vertices = min(args.data_vertices, 200)
+        args.query_vertices = min(args.query_vertices, 6)
+        args.index = 5 if args.index == 2 else args.index
+        args.workers = [1, 2]
+        args.repeats = 1
+        args.serving_queries = 4
+
+    spec = _dense_spec(args.data_vertices, args.query_vertices)
+    case = generate_case(args.seed, args.index, spec)
+    print(f"workload: {case.describe()}", file=sys.stderr)
+
+    report = {
+        "bench": "parallel",
+        "cpus": os.cpu_count(),
+        "note": (
+            "single-CPU host: speedup_vs_1_worker can only measure engine "
+            "overhead, not parallelism"
+        ) if os.cpu_count() == 1 else None,
+        "start_methods": multiprocessing.get_all_start_methods(),
+        "python": sys.version.split()[0],
+        "workload": {
+            "scenario": "dense",
+            "seed": args.seed,
+            "index": args.index,
+            "data_vertices": case.data.num_vertices,
+            "data_edges": case.data.num_edges,
+            "query_vertices": case.query.num_vertices,
+            "query_edges": case.query.num_edges,
+        },
+        "scaling": bench_scaling(case, args.workers, args.repeats),
+        "pool_serving": bench_pool_serving(
+            case, workers=min(2, max(args.workers)), queries=args.serving_queries
+        ),
+        "plan_cache": bench_plan_cache(case, queries=args.serving_queries),
+    }
+
+    for row in report["scaling"]["rows"]:
+        if row["workers"] > 1 and row["prepares_per_query"] != 1:
+            raise AssertionError(
+                f"shared-plan invariant violated: {row['prepares_per_query']} "
+                f"prepares at workers={row['workers']}"
+            )
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"# written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

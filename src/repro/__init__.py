@@ -17,11 +17,15 @@ Quickstart::
 from .graph import Graph, GraphError
 from .core import (
     CFLMatch,
+    MatcherPool,
     MatchReport,
     PreparedQuery,
     cfl_decompose,
     count_embeddings,
     find_embeddings,
+    parallel_count,
+    parallel_search,
+    parallel_search_iter,
     validate_embedding,
 )
 from .baselines import (
@@ -38,11 +42,15 @@ __all__ = [
     "Graph",
     "GraphError",
     "CFLMatch",
+    "MatcherPool",
     "MatchReport",
     "PreparedQuery",
     "cfl_decompose",
     "count_embeddings",
     "find_embeddings",
+    "parallel_count",
+    "parallel_search",
+    "parallel_search_iter",
     "validate_embedding",
     "BoostMatch",
     "QuickSIMatch",

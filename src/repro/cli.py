@@ -26,10 +26,25 @@ from .workloads.datasets import DATASETS, SCALES, dataset_spec
 def _cmd_match(args: argparse.Namespace) -> int:
     data = load_graph(args.data)
     query = load_graph(args.query)
-    matcher = make_matcher(args.algorithm, data)
+    workers = args.workers
     started = time.perf_counter()
+    if workers > 1:
+        if args.algorithm != "CFL-Match":
+            print(
+                f"error: --workers requires CFL-Match, not {args.algorithm}",
+                file=sys.stderr,
+            )
+            return 2
+        from .core.parallel import parallel_search_iter
+
+        embeddings = parallel_search_iter(
+            data, query, workers=workers, limit=args.limit
+        )
+    else:
+        matcher = make_matcher(args.algorithm, data)
+        embeddings = matcher.search(query, limit=args.limit)
     count = 0
-    for embedding in matcher.search(query, limit=args.limit):
+    for embedding in embeddings:
         count += 1
         if not args.quiet:
             print(" ".join(f"u{u}->v{v}" for u, v in enumerate(embedding)))
@@ -41,9 +56,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
 def _cmd_count(args: argparse.Namespace) -> int:
     data = load_graph(args.data)
     query = load_graph(args.query)
-    matcher = CFLMatch(data)
     started = time.perf_counter()
-    total = matcher.count(query, limit=args.limit)
+    if args.workers > 1:
+        from .core.parallel import parallel_count
+
+        total = parallel_count(data, query, workers=args.workers, limit=args.limit)
+    else:
+        total = CFLMatch(data).count(query, limit=args.limit)
     elapsed = time.perf_counter() - started
     suffix = "+" if args.limit is not None and total >= args.limit else ""
     print(f"{total}{suffix} embedding(s) in {1000 * elapsed:.1f} ms")
@@ -158,12 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--limit", type=int, default=None, help="max embeddings to report")
     p_match.add_argument("--algorithm", default="CFL-Match", choices=sorted(MATCHERS))
     p_match.add_argument("--quiet", action="store_true", help="print only the summary line")
+    p_match.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the shared-plan parallel engine "
+             "(CFL-Match only; 1 = sequential)",
+    )
     p_match.set_defaults(func=_cmd_match)
 
     p_count = sub.add_parser("count", help="count embeddings (leaf permutations not expanded)")
     p_count.add_argument("--data", required=True)
     p_count.add_argument("--query", required=True)
     p_count.add_argument("--limit", type=int, default=None)
+    p_count.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the shared-plan parallel engine (1 = sequential)",
+    )
     p_count.set_defaults(func=_cmd_count)
 
     p_explain = sub.add_parser("explain", help="show the matching plan for a query")

@@ -1,6 +1,6 @@
 """The paper's contribution: CFL decomposition, CPI, and CFL-Match."""
 
-from .cost_model import CostBreakdown, evaluate_order_cost
+from .cost_model import CostBreakdown, estimate_root_costs, evaluate_order_cost
 from .core_match import (
     CPIBacktracker,
     OrderedVertex,
@@ -38,10 +38,16 @@ from .ordering import (
     order_structure,
     path_non_tree_weight,
     path_suffix_counts,
+    root_candidate_cardinalities,
     subtree_paths,
     validate_matching_order,
 )
-from .parallel import parallel_count, parallel_search
+from .parallel import (
+    MatcherPool,
+    parallel_count,
+    parallel_search,
+    parallel_search_iter,
+)
 from .root_selection import select_root
 from .verify import (
     EmbeddingSetDiff,
@@ -52,6 +58,7 @@ from .verify import (
 
 __all__ = [
     "CostBreakdown",
+    "estimate_root_costs",
     "evaluate_order_cost",
     "CPIBacktracker",
     "OrderedVertex",
@@ -92,10 +99,13 @@ __all__ = [
     "order_structure",
     "path_non_tree_weight",
     "path_suffix_counts",
+    "root_candidate_cardinalities",
     "subtree_paths",
     "validate_matching_order",
+    "MatcherPool",
     "parallel_count",
     "parallel_search",
+    "parallel_search_iter",
     "select_root",
     "EmbeddingSetDiff",
     "diff_embedding_lists",

@@ -17,7 +17,7 @@ ablations in the benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..graph.graph import Graph, GraphError
 
@@ -109,3 +109,21 @@ def evaluate_order_cost(
         step_costs=step_costs,
         non_tree_counts=non_tree_counts,
     )
+
+
+def estimate_root_costs(cpi) -> Dict[int, int]:
+    """Cheap per-root-candidate work estimates for parallel chunking.
+
+    Runs the Algorithm 2 cardinality DP (Section 4.2.1, generalized to
+    the whole BFS tree) over the CPI adjacency lists: the value for root
+    candidate ``v`` estimates how many CPI tree embeddings are anchored
+    at ``v``, a proxy for the enumeration work of the search partition
+    rooted there.  Unlike :func:`evaluate_order_cost` this is polynomial
+    — linear in the CPI size — so the parallel engine can afford it per
+    query.  Candidates absent from the result prune immediately (their
+    subtree count is zero); treat them as unit cost.
+    """
+    from .ordering import root_candidate_cardinalities
+
+    allowed = set(cpi.query.vertices())
+    return root_candidate_cardinalities(cpi, cpi.root, allowed)

@@ -16,7 +16,7 @@ non-tree edges (Definition 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graph.graph import Graph, GraphError
 
@@ -153,6 +153,25 @@ class CPI:
     def is_empty(self) -> bool:
         """True iff some query vertex has no candidates (no embedding)."""
         return any(not c for c in self.candidates)
+
+    def with_root_candidates(self, filtered: Iterable[int]) -> "CPI":
+        """Shallow copy whose root candidate set is ``filtered``.
+
+        Everything except the root's candidate list/set is shared with
+        ``self`` (the root has no incoming tree edge, so no adjacency
+        list keys off its candidates).  Cost is O(|V(q)| + |filtered|),
+        which lets the parallel engine restrict per root candidate
+        without rebuilding the per-vertex candidate sets.
+        """
+        clone = CPI.__new__(CPI)
+        clone.tree = self.tree
+        clone.data = self.data
+        clone.candidates = list(self.candidates)
+        clone.candidates[self.root] = sorted(filtered)
+        clone.cand_sets = list(self.cand_sets)
+        clone.cand_sets[self.root] = set(clone.candidates[self.root])
+        clone.adjacency = self.adjacency
+        return clone
 
     def size(self) -> int:
         """Total CPI size: candidate entries + adjacency-list entries.

@@ -15,9 +15,12 @@ accounting of the index (Figure 16(d)).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, TYPE_CHECKING
 
 from .cpi import CPI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.graph import Graph
 
 
 class CompiledCPI:
@@ -107,6 +110,38 @@ class CompiledCPI:
             row_index=[list(ix) for ix in payload["row_index"]],
             row_data=[list(d) for d in payload["row_data"]],
         )
+
+    def to_cpi(self, query: "Graph", data: "Graph") -> CPI:
+        """Reconstruct the dict-based :class:`CPI` (inverse of
+        :meth:`from_cpi`, given the two graphs it was built over).
+
+        The BFS tree is rebuilt deterministically from ``query`` and the
+        stored root, so a compiled payload plus the graphs is a complete
+        wire format for shipping a prepared index to another process —
+        the spawn-context path of :mod:`repro.core.parallel` — without
+        re-running the construction/refinement passes.
+        """
+        from .cpi import QueryBFSTree
+
+        tree = QueryBFSTree.build(query, self.root)
+        if list(tree.parent) != list(self.parent):
+            raise ValueError(
+                "compiled CPI parent array does not match the query's BFS tree"
+            )
+        candidates = [list(c) for c in self.candidates]
+        adjacency: List[Dict[int, List[int]]] = [{} for _ in range(len(candidates))]
+        for u in range(len(candidates)):
+            p = self.parent[u]
+            if p is None:
+                continue
+            index = self.row_index[u]
+            cand_u = candidates[u]
+            table = adjacency[u]
+            for i, v_p in enumerate(candidates[p]):
+                row = self.row_data[u][index[i]:index[i + 1]]
+                if row:
+                    table[v_p] = [cand_u[pos] for pos in row]
+        return CPI(tree, data, candidates, adjacency)
 
     def size_in_integers(self) -> int:
         """Total index size counted in stored integers."""

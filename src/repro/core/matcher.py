@@ -21,6 +21,7 @@ CFL-Match-Naive   ``CFLMatch(data, cpi_mode="naive")``
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Set, Tuple
 
@@ -107,6 +108,12 @@ class CFLMatch:
     cpi_impl:
         ``"python"`` (reference implementation) or ``"numpy"``
         (vectorized builder; identical output, faster on medium graphs).
+    plan_cache_size:
+        capacity of the per-matcher LRU plan cache.  Repeated calls of
+        :meth:`search`/:meth:`count` (or :meth:`prepare`) with a
+        structurally identical query reuse the cached
+        :class:`PreparedQuery` and skip the whole ordering phase —
+        the serving-workload fast path.  ``0`` disables caching.
     """
 
     name = "CFL-Match"
@@ -118,6 +125,7 @@ class CFLMatch:
         cpi_mode: str = "full",
         core_strategy: str = "paths",
         cpi_impl: str = "python",
+        plan_cache_size: int = 16,
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}")
@@ -127,19 +135,54 @@ class CFLMatch:
             raise ValueError(f"core_strategy must be one of {CORE_STRATEGIES}")
         if cpi_impl not in CPI_IMPLS:
             raise ValueError(f"cpi_impl must be one of {CPI_IMPLS}")
+        if plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
         self.data = data
         self.mode = mode
         self.cpi_mode = cpi_mode
         self.core_strategy = core_strategy
         self.cpi_impl = cpi_impl
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
+        #: number of full (uncached) ordering-phase runs; tests and the
+        #: parallel engine assert "prepare ran exactly once" against it.
+        self.prepare_count = 0
+        self.plan_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Preparation (ordering phase)
     # ------------------------------------------------------------------
-    def prepare(self, query: Graph) -> PreparedQuery:
-        """Decompose, build the CPI and compute the matching order."""
+    def prepare(self, query: Graph, use_cache: bool = True) -> PreparedQuery:
+        """Decompose, build the CPI and compute the matching order.
+
+        With ``use_cache`` (the default) a structurally identical query
+        returns the LRU-cached plan without re-running any of it; pass
+        ``use_cache=False`` for a fresh, honestly timed plan (what
+        :meth:`run` does for benchmarking).
+        """
+        caching = use_cache and self.plan_cache_size > 0
+        if caching:
+            key = query.signature()
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_cache_hits += 1
+                return cached
+        plan = self._prepare_fresh(query)
+        if caching:
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan (e.g. after swapping workloads)."""
+        self._plan_cache.clear()
+
+    def _prepare_fresh(self, query: Graph) -> PreparedQuery:
         if query.num_vertices == 0:
             raise GraphError("empty query")
+        self.prepare_count += 1
         started = time.perf_counter()
         decomposition = cfl_decompose(
             query,
@@ -151,24 +194,70 @@ class CFLMatch:
         else:
             root = select_root(query, self.data, eligible=decomposition.core)
         cpi = self._build_cpi(query, root)
+        return self._assemble_plan(query, decomposition, root, cpi, started)
 
+    def prepare_from_cpi(
+        self,
+        query: Graph,
+        cpi: CPI,
+        core_order: Optional[List[int]] = None,
+        forest_order: Optional[List[int]] = None,
+    ) -> PreparedQuery:
+        """Rebuild a :class:`PreparedQuery` around a prebuilt CPI.
+
+        This is the cheap re-preparation path for plans shipped across
+        process boundaries (a :class:`~repro.core.cpi_storage.CompiledCPI`
+        decoded in a spawn worker): Algorithms 3+4 are *not* re-run, and
+        when the parent also ships its ``core_order``/``forest_order``
+        the Algorithm 2 DP is skipped too — only query-sized metadata
+        (decomposition, slots, leaf plan) is recomputed.
+        """
+        if query.num_vertices == 0:
+            raise GraphError("empty query")
+        started = time.perf_counter()
+        decomposition = cfl_decompose(
+            query,
+            root_chooser=lambda q: select_root(q, self.data),
+        )
+        return self._assemble_plan(
+            query, decomposition, cpi.root, cpi, started,
+            core_order=core_order, forest_order=forest_order,
+        )
+
+    def _assemble_plan(
+        self,
+        query: Graph,
+        decomposition: CFLDecomposition,
+        root: int,
+        cpi: CPI,
+        started: float,
+        core_order: Optional[List[int]] = None,
+        forest_order: Optional[List[int]] = None,
+    ) -> PreparedQuery:
         core_set: Set[int]
         if self.mode == "match":
             core_set = set(query.vertices())
         else:
             core_set = decomposition.core_set
-        if self.core_strategy == "hierarchical" and self.mode != "match":
-            from .hierarchy import hierarchical_core_order
+        if core_order is None:
+            if self.core_strategy == "hierarchical" and self.mode != "match":
+                from .hierarchy import hierarchical_core_order
 
-            core_order = hierarchical_core_order(cpi, sorted(core_set), root)
-        else:
-            core_order = order_structure(cpi, root, core_set, use_non_tree_discount=True)
+                core_order = hierarchical_core_order(cpi, sorted(core_set), root)
+            else:
+                core_order = order_structure(
+                    cpi, root, core_set, use_non_tree_discount=True
+                )
 
-        forest_order: List[int] = []
         leaf_vertices: List[int] = []
         if self.mode != "match":
             leaf_vertices = decomposition.leaves if self.mode == "cfl" else []
-            forest_order = self._forest_order(cpi, decomposition, set(leaf_vertices))
+            if forest_order is None:
+                forest_order = self._forest_order(
+                    cpi, decomposition, set(leaf_vertices)
+                )
+        if forest_order is None:
+            forest_order = []
 
         core_slots = build_ordered_vertices(cpi, core_order, check_non_tree=True)
         forest_slots = build_ordered_vertices(
@@ -256,7 +345,7 @@ class CFLMatch:
         if plan.cpi.is_empty():
             return
         if root_candidates is not None:
-            allowed = set(plan.cpi.candidates[plan.root])
+            allowed = plan.cpi.cand_sets[plan.root]
             filtered = [v for v in root_candidates if v in allowed]
             if not filtered:
                 return
@@ -289,15 +378,13 @@ class CFLMatch:
     ) -> PreparedQuery:
         """Shallow plan copy whose root candidate set is ``filtered``.
 
-        Adjacency lists are shared (the root has no incoming tree edge),
-        so this is cheap; matching orders stay valid since they do not
-        depend on the root's candidate list contents.
+        Adjacency lists, candidate sets of the other vertices and the
+        matching orders are all shared (the root has no incoming tree
+        edge and the orders do not depend on the root's candidate list
+        contents), so a restriction costs O(|V(q)| + |filtered|) — cheap
+        enough that the parallel engine restricts per root candidate.
         """
-        from .cpi import CPI as _CPI
-
-        new_candidates = list(plan.cpi.candidates)
-        new_candidates[plan.root] = sorted(filtered)
-        restricted = _CPI(plan.cpi.tree, plan.cpi.data, new_candidates, plan.cpi.adjacency)
+        restricted = plan.cpi.with_root_candidates(filtered)
         return PreparedQuery(
             query=plan.query,
             decomposition=plan.decomposition,
@@ -329,7 +416,7 @@ class CFLMatch:
         if plan.cpi.is_empty():
             return 0
         if root_candidates is not None:
-            allowed = set(plan.cpi.candidates[plan.root])
+            allowed = plan.cpi.cand_sets[plan.root]
             filtered = [v for v in root_candidates if v in allowed]
             if not filtered:
                 return 0
@@ -361,8 +448,10 @@ class CFLMatch:
 
         ``deadline`` is an absolute ``time.perf_counter()`` timestamp; the
         run stops (``timed_out=True``) when enumeration crosses it.
+        ``run`` always prepares afresh (bypassing the plan cache) so its
+        ``ordering_time`` is an honest measurement.
         """
-        prepared = self.prepare(query)
+        prepared = self.prepare(query, use_cache=False)
         stats = SearchStats()
         stage_stats: dict = {}
         results: Optional[List[Tuple[int, ...]]] = [] if collect else None

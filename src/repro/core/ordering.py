@@ -128,12 +128,17 @@ def order_structure(
     return order
 
 
-def estimate_tree_embeddings(cpi: CPI, start: int, allowed: Set[int]) -> int:
-    """Estimated number of CPI embeddings of the subtree at ``start``.
+def root_candidate_cardinalities(
+    cpi: CPI, start: int, allowed: Set[int]
+) -> Dict[int, int]:
+    """Per-candidate subtree-embedding estimates ``c_start(v)``.
 
-    Generalizes the path DP to trees: ``c_u(v)`` multiplies, over the
-    children of ``u``, the summed counts of ``v``'s adjacency list.  Used
-    to order the connected trees of the forest (Section 4.3).
+    The Section 4.2.1 path DP generalized to trees: ``c_u(v)``
+    multiplies, over the children of ``u``, the summed counts of ``v``'s
+    adjacency list.  Returns the map for ``start`` itself — one entry
+    per candidate ``v`` of ``start`` that can anchor at least one CPI
+    tree embedding of the ``allowed`` subtree.  The parallel engine uses
+    this as a per-root cost estimate for load-balanced chunking.
     """
     children = cpi.tree.children
 
@@ -157,7 +162,17 @@ def estimate_tree_embeddings(cpi: CPI, start: int, allowed: Set[int]) -> int:
                 result[v] = product
         return result
 
-    return sum(vertex_counts(start).values())
+    return vertex_counts(start)
+
+
+def estimate_tree_embeddings(cpi: CPI, start: int, allowed: Set[int]) -> int:
+    """Estimated number of CPI embeddings of the subtree at ``start``.
+
+    Sum of :func:`root_candidate_cardinalities` over the candidates of
+    ``start``; used to order the connected trees of the forest
+    (Section 4.3).
+    """
+    return sum(root_candidate_cardinalities(cpi, start, allowed).values())
 
 
 def validate_matching_order(

@@ -1,58 +1,110 @@
-"""Parallel subgraph matching over root-candidate partitions.
+"""Shared-plan parallel subgraph matching over root-candidate partitions.
 
 Backtracking search parallelizes naturally at the top of the tree: each
 embedding maps the matching order's first vertex (the BFS root) to
 exactly one of its candidates, so partitioning the root candidate set
-partitions the embedding set.  Workers each rebuild the (cheap,
-polynomial) CPI for their own restriction and run the normal pipeline;
-results are merged by summation / concatenation.
+partitions the embedding set.
 
-Uses fork-based ``multiprocessing`` so the data graph is inherited
-copy-on-write rather than pickled per task.  For small instances the
-process overhead dominates — this is a throughput tool for large data
-graphs and exhaustive (uncapped) enumeration or counting.
+The engine prepares the query **once** in the parent — the paper's whole
+point is that CPI construction is cheap-and-polynomial while enumeration
+is the expensive part, so enumeration is what gets parallelized:
+
+* **fork** start method (the default where available): workers inherit
+  the parent's :class:`~repro.core.matcher.PreparedQuery` copy-on-write;
+  nothing is rebuilt, pickled or shipped.
+* **spawn** start method: the plan travels as its
+  :class:`~repro.core.cpi_storage.CompiledCPI` wire form
+  (``to_dict``/``from_dict``) plus the precomputed matching orders; each
+  worker reconstructs the plan once via
+  :meth:`CFLMatch.prepare_from_cpi` without re-running Algorithms 3+4
+  or the Algorithm 2 ordering DP.
+
+Workers restrict the shared plan through the O(|V(q)|)-cheap
+``with_root_candidates`` path instead of rebuilding the CPI per chunk.
+Chunks are *cost-weighted*: per-root work estimates from the Algorithm 2
+cardinality DP (:func:`~repro.core.cost_model.estimate_root_costs`) are
+balanced across ``workers * tasks_per_worker`` buckets by LPT greedy
+packing, replacing blind round-robin.  Dispatch is wave-based with a
+shrinking remaining-``limit`` budget per submitted chunk, and a shared
+cancellation event stops in-flight workers between root candidates once
+a global ``limit`` has been reached.
+
+Three entry points serve one-shot calls; :class:`MatcherPool` keeps a
+persistent worker pool alive to serve many queries over one data graph
+without re-forking (repeated queries additionally hit the parent-side
+LRU plan cache and skip ``prepare()`` entirely).
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Tuple
+import os
+import pickle
+import queue as _queue_mod
+from collections import OrderedDict
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
-from .matcher import CFLMatch
+from .cost_model import estimate_root_costs
+from .cpi_storage import CompiledCPI
+from .matcher import CFLMatch, PreparedQuery
 
-# Worker globals installed by the pool initializer (fork-inherited).
-_WORKER_MATCHER: Optional[CFLMatch] = None
-_WORKER_QUERY: Optional[Graph] = None
-
-
-def _init_worker(data: Graph, query: Graph, matcher_kwargs: dict) -> None:
-    global _WORKER_MATCHER, _WORKER_QUERY
-    _WORKER_MATCHER = CFLMatch(data, **matcher_kwargs)
-    _WORKER_QUERY = query
-
-
-def _count_chunk(args: Tuple[List[int], Optional[int]]) -> int:
-    chunk, limit = args
-    assert _WORKER_MATCHER is not None and _WORKER_QUERY is not None
-    return _WORKER_MATCHER.count(_WORKER_QUERY, limit=limit, root_candidates=chunk)
+__all__ = [
+    "MatcherPool",
+    "parallel_count",
+    "parallel_search",
+    "parallel_search_iter",
+]
 
 
-def _search_chunk(args: Tuple[List[int], Optional[int]]) -> List[Tuple[int, ...]]:
-    chunk, limit = args
-    assert _WORKER_MATCHER is not None and _WORKER_QUERY is not None
-    return list(
-        _WORKER_MATCHER.search(_WORKER_QUERY, limit=limit, root_candidates=chunk)
+def _default_start_method() -> str:
+    """``fork`` where the platform offers it (copy-on-write plan sharing),
+    ``spawn`` otherwise (macOS default / Windows)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _default_workers() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+# ----------------------------------------------------------------------
+# Plan wire format (spawn contexts and persistent pools)
+# ----------------------------------------------------------------------
+def encode_plan(plan: PreparedQuery) -> Dict[str, Any]:
+    """JSON-safe wire form of a prepared plan: the compiled CPI plus the
+    matching orders (so the receiver skips the ordering DP too)."""
+    return {
+        "cpi": CompiledCPI.from_cpi(plan.cpi).to_dict(),
+        "core_order": list(plan.core_order),
+        "forest_order": list(plan.forest_order),
+    }
+
+
+def decode_plan(
+    matcher: CFLMatch, query: Graph, wire: Dict[str, Any]
+) -> PreparedQuery:
+    """Rebuild a :class:`PreparedQuery` from :func:`encode_plan` output.
+
+    Only query-sized metadata (decomposition, slots, leaf plan) is
+    recomputed; the CPI and the orders come off the wire."""
+    compiled = CompiledCPI.from_dict(wire["cpi"])
+    cpi = compiled.to_cpi(query, matcher.data)
+    return matcher.prepare_from_cpi(
+        query,
+        cpi,
+        core_order=list(wire["core_order"]),
+        forest_order=list(wire["forest_order"]),
     )
 
 
+# ----------------------------------------------------------------------
+# Chunking
+# ----------------------------------------------------------------------
 def _chunks(items: List[int], pieces: int) -> List[List[int]]:
-    """Split ``items`` into at most ``pieces`` round-robin chunks.
-
-    Round-robin balances skewed candidate costs better than contiguous
-    slicing (candidates are sorted by vertex id, which often correlates
-    with degree in generated graphs).
-    """
+    """Split ``items`` into at most ``pieces`` round-robin chunks (the
+    cost-blind fallback, kept for tests and as a baseline)."""
     pieces = max(1, min(pieces, len(items)))
     buckets: List[List[int]] = [[] for _ in range(pieces)]
     for index, item in enumerate(items):
@@ -60,9 +112,263 @@ def _chunks(items: List[int], pieces: int) -> List[List[int]]:
     return [bucket for bucket in buckets if bucket]
 
 
-def _root_candidates(matcher: CFLMatch, query: Graph) -> List[int]:
-    prepared = matcher.prepare(query)
-    return list(prepared.cpi.candidates[prepared.root])
+def _cost_weighted_chunks(
+    roots: Sequence[int], costs: Dict[int, int], pieces: int
+) -> List[List[int]]:
+    """Pack roots into ``pieces`` chunks balancing estimated work.
+
+    Classic LPT greedy: roots sorted by descending cost, each assigned
+    to the currently lightest bucket.  Buckets come back heaviest-first
+    so the scheduler dispatches the long poles early.  Roots missing
+    from ``costs`` (subtree count zero — they prune immediately) get
+    unit weight.
+    """
+    pieces = max(1, min(pieces, len(roots)))
+    weighted = sorted(
+        ((costs.get(v, 0) + 1, v) for v in roots),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    heap: List[Tuple[int, int]] = [(0, i) for i in range(pieces)]
+    heapify(heap)
+    buckets: List[List[int]] = [[] for _ in range(pieces)]
+    totals = [0] * pieces
+    for weight, root in weighted:
+        load, index = heappop(heap)
+        buckets[index].append(root)
+        totals[index] = load + weight
+        heappush(heap, (load + weight, index))
+    order = sorted(range(pieces), key=lambda i: (-totals[i], i))
+    return [buckets[i] for i in order if buckets[i]]
+
+
+def _plan_chunks(plan: PreparedQuery, pieces: int) -> List[List[int]]:
+    roots = list(plan.cpi.candidates[plan.root])
+    return _cost_weighted_chunks(roots, estimate_root_costs(plan.cpi), pieces)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+# Globals installed by the pool initializers.  Under fork they alias the
+# parent's objects copy-on-write; under spawn they are rebuilt once per
+# worker process.
+_WORKER: Dict[str, Any] = {}
+
+#: per-worker decoded-plan LRU for persistent pools (plan key -> plan)
+_PLAN_CACHE_CAPACITY = 8
+
+
+def _init_oneshot_fork(matcher: CFLMatch, plan: PreparedQuery, cancel) -> None:
+    _WORKER.clear()
+    _WORKER.update(matcher=matcher, plan=plan, cancel=cancel)
+
+
+def _init_oneshot_spawn(
+    data: Graph, query: Graph, matcher_kwargs: dict, wire: Dict[str, Any], cancel
+) -> None:
+    matcher = CFLMatch(data, **matcher_kwargs)
+    plan = decode_plan(matcher, query, wire)
+    _WORKER.clear()
+    _WORKER.update(matcher=matcher, plan=plan, cancel=cancel)
+
+
+def _init_pool_worker(data: Graph, matcher_kwargs: dict, cancel) -> None:
+    _WORKER.clear()
+    _WORKER.update(
+        matcher=CFLMatch(data, **matcher_kwargs),
+        cancel=cancel,
+        plans=OrderedDict(),
+    )
+
+
+def _resolve_pool_plan(key: int, blob: bytes) -> PreparedQuery:
+    """Decode (at most once per worker per query) a plan shipped with a
+    persistent-pool task; cache keyed by the pool's plan epoch."""
+    plans: "OrderedDict[int, PreparedQuery]" = _WORKER["plans"]
+    plan = plans.get(key)
+    if plan is None:
+        payload = pickle.loads(blob)
+        query = Graph(payload["labels"], payload["edges"])
+        plan = decode_plan(_WORKER["matcher"], query, payload["wire"])
+        plans[key] = plan
+        while len(plans) > _PLAN_CACHE_CAPACITY:
+            plans.popitem(last=False)
+    else:
+        plans.move_to_end(key)
+    return plan
+
+
+def _count_roots(
+    matcher: CFLMatch, plan: PreparedQuery, roots: List[int], budget: Optional[int], cancel
+) -> int:
+    """Count the chunk's partition, honoring budget and cancellation.
+
+    Without a budget there is nothing to cancel for, so the whole chunk
+    runs in one restriction; with one, restricting per root candidate
+    (cheap — see ``CPI.with_root_candidates``) lets the worker notice a
+    cluster-wide stop between roots instead of only between chunks.
+    """
+    if cancel is not None and cancel.is_set():
+        return 0
+    if budget is None:
+        return matcher.count(plan.query, prepared=plan, root_candidates=roots)
+    total = 0
+    for root in roots:
+        if total >= budget or (cancel is not None and cancel.is_set()):
+            break
+        total += matcher.count(
+            plan.query, limit=budget - total, prepared=plan, root_candidates=(root,)
+        )
+    return total
+
+
+def _search_roots(
+    matcher: CFLMatch, plan: PreparedQuery, roots: List[int], budget: Optional[int], cancel
+) -> List[Tuple[int, ...]]:
+    if cancel is not None and cancel.is_set():
+        return []
+    if budget is None:
+        return list(matcher.search(plan.query, prepared=plan, root_candidates=roots))
+    results: List[Tuple[int, ...]] = []
+    for root in roots:
+        if len(results) >= budget or (cancel is not None and cancel.is_set()):
+            break
+        results.extend(
+            matcher.search(
+                plan.query,
+                limit=budget - len(results),
+                prepared=plan,
+                root_candidates=(root,),
+            )
+        )
+    return results
+
+
+def _oneshot_count_task(args: Tuple[List[int], Optional[int]]) -> int:
+    roots, budget = args
+    return _count_roots(
+        _WORKER["matcher"], _WORKER["plan"], roots, budget, _WORKER["cancel"]
+    )
+
+
+def _oneshot_search_task(
+    args: Tuple[List[int], Optional[int]]
+) -> List[Tuple[int, ...]]:
+    roots, budget = args
+    return _search_roots(
+        _WORKER["matcher"], _WORKER["plan"], roots, budget, _WORKER["cancel"]
+    )
+
+
+def _pool_count_task(args: Tuple[int, bytes, List[int], Optional[int]]) -> int:
+    key, blob, roots, budget = args
+    plan = _resolve_pool_plan(key, blob)
+    return _count_roots(_WORKER["matcher"], plan, roots, budget, _WORKER["cancel"])
+
+
+def _pool_search_task(
+    args: Tuple[int, bytes, List[int], Optional[int]]
+) -> List[Tuple[int, ...]]:
+    key, blob, roots, budget = args
+    plan = _resolve_pool_plan(key, blob)
+    return _search_roots(_WORKER["matcher"], plan, roots, budget, _WORKER["cancel"])
+
+
+# ----------------------------------------------------------------------
+# Parent-side dispatcher
+# ----------------------------------------------------------------------
+def _dispatch(
+    pool,
+    task: Callable[[tuple], Any],
+    make_args: Callable[[List[int], Optional[int]], tuple],
+    chunks: List[List[int]],
+    limit: Optional[int],
+    cancel,
+    measure: Callable[[Any], int],
+    max_inflight: int,
+) -> Iterator[Any]:
+    """Submit chunks in waves, yielding raw results as they complete.
+
+    Each submission captures the *current* remaining budget, so later
+    chunks are dispatched with shrunken limits; once the measured
+    results saturate ``limit`` the shared ``cancel`` event is set, the
+    backlog is dropped, and only the (budget-bounded) in-flight tasks
+    drain.  Uses ``apply_async`` + a local queue rather than
+    ``pool.map`` precisely to avoid the full-barrier semantics.
+    """
+    results: "_queue_mod.Queue" = _queue_mod.Queue()
+    state = {"remaining": limit, "next": 0, "inflight": 0}
+
+    def submit_more() -> None:
+        while (
+            state["next"] < len(chunks)
+            and state["inflight"] < max_inflight
+            and (state["remaining"] is None or state["remaining"] > 0)
+        ):
+            chunk = chunks[state["next"]]
+            state["next"] += 1
+            state["inflight"] += 1
+            pool.apply_async(
+                task,
+                (make_args(chunk, state["remaining"]),),
+                callback=lambda value: results.put(("ok", value)),
+                error_callback=lambda exc: results.put(("error", exc)),
+            )
+
+    submit_more()
+    while state["inflight"]:
+        kind, payload = results.get()
+        state["inflight"] -= 1
+        if kind == "error":
+            cancel.set()
+            raise payload
+        if state["remaining"] is not None:
+            state["remaining"] -= measure(payload)
+            if state["remaining"] <= 0:
+                cancel.set()
+        yield payload
+        submit_more()
+
+
+# ----------------------------------------------------------------------
+# One-shot entry points
+# ----------------------------------------------------------------------
+def _oneshot_setup(
+    data: Graph,
+    query: Graph,
+    workers: int,
+    matcher_kwargs: dict,
+):
+    """Prepare once in the parent; classify sequential-fallback cases."""
+    matcher = CFLMatch(data, **matcher_kwargs)
+    plan = matcher.prepare(query)
+    if plan.cpi.is_empty():
+        return matcher, plan, None
+    roots = list(plan.cpi.candidates[plan.root])
+    if workers <= 1 or len(roots) <= 1:
+        return matcher, plan, None
+    return matcher, plan, roots
+
+
+def _oneshot_pool(
+    ctx,
+    method: str,
+    workers: int,
+    matcher: CFLMatch,
+    plan: PreparedQuery,
+    query: Graph,
+    matcher_kwargs: dict,
+    cancel,
+):
+    if method == "fork":
+        return ctx.Pool(
+            workers, initializer=_init_oneshot_fork,
+            initargs=(matcher, plan, cancel),
+        )
+    return ctx.Pool(
+        workers, initializer=_init_oneshot_spawn,
+        initargs=(matcher.data, query, matcher_kwargs, encode_plan(plan), cancel),
+    )
 
 
 def parallel_count(
@@ -71,27 +377,89 @@ def parallel_count(
     workers: int = 2,
     limit: Optional[int] = None,
     tasks_per_worker: int = 4,
+    start_method: Optional[str] = None,
     **matcher_kwargs,
 ) -> int:
     """Count embeddings of ``query`` in ``data`` across ``workers``
     processes.  Equals ``CFLMatch(data).count(query)`` (without ``limit``;
-    with a limit the result saturates at it)."""
-    matcher = CFLMatch(data, **matcher_kwargs)
-    roots = _root_candidates(matcher, query)
-    if not roots:
+    with a limit the result saturates at it).  ``prepare()`` runs exactly
+    once, in the parent; workers share the plan (see module docs)."""
+    if limit is not None and limit <= 0:
         return 0
-    if workers <= 1 or len(roots) == 1:
-        return matcher.count(query, limit=limit)
-    chunks = _chunks(roots, workers * tasks_per_worker)
-    context = multiprocessing.get_context("fork")
-    with context.Pool(
-        workers, initializer=_init_worker, initargs=(data, query, matcher_kwargs)
+    matcher, plan, roots = _oneshot_setup(data, query, workers, matcher_kwargs)
+    if roots is None:
+        if plan.cpi.is_empty():
+            return 0
+        return matcher.count(query, limit=limit, prepared=plan)
+    chunks = _cost_weighted_chunks(
+        roots, estimate_root_costs(plan.cpi), workers * tasks_per_worker
+    )
+    method = start_method or _default_start_method()
+    ctx = multiprocessing.get_context(method)
+    cancel = ctx.Event()
+    with _oneshot_pool(
+        ctx, method, workers, matcher, plan, query, matcher_kwargs, cancel
     ) as pool:
-        partials = pool.map(_count_chunk, [(chunk, limit) for chunk in chunks])
-    total = sum(partials)
+        total = 0
+        max_inflight = workers if limit is not None else len(chunks)
+        for part in _dispatch(
+            pool, _oneshot_count_task, lambda c, b: (c, b), chunks,
+            limit, cancel, lambda value: value, max_inflight,
+        ):
+            total += part
     if limit is not None:
         return min(total, limit)
     return total
+
+
+def parallel_search_iter(
+    data: Graph,
+    query: Graph,
+    workers: int = 2,
+    limit: Optional[int] = None,
+    tasks_per_worker: int = 4,
+    start_method: Optional[str] = None,
+    **matcher_kwargs,
+) -> Iterator[Tuple[int, ...]]:
+    """Stream embeddings as worker chunks complete (unordered).
+
+    The embedding *set* equals the sequential one; arrival order follows
+    chunk completion.  Abandoning the iterator early cancels in-flight
+    workers and tears the pool down.
+    """
+    if limit is not None and limit <= 0:
+        return
+    matcher, plan, roots = _oneshot_setup(data, query, workers, matcher_kwargs)
+    if roots is None:
+        if plan.cpi.is_empty():
+            return
+        yield from matcher.search(query, limit=limit, prepared=plan)
+        return
+    chunks = _cost_weighted_chunks(
+        roots, estimate_root_costs(plan.cpi), workers * tasks_per_worker
+    )
+    method = start_method or _default_start_method()
+    ctx = multiprocessing.get_context(method)
+    cancel = ctx.Event()
+    pool = _oneshot_pool(
+        ctx, method, workers, matcher, plan, query, matcher_kwargs, cancel
+    )
+    try:
+        emitted = 0
+        max_inflight = workers if limit is not None else len(chunks)
+        for part in _dispatch(
+            pool, _oneshot_search_task, lambda c, b: (c, b), chunks,
+            limit, cancel, len, max_inflight,
+        ):
+            for embedding in part:
+                yield embedding
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+    finally:
+        cancel.set()
+        pool.terminate()
+        pool.join()
 
 
 def parallel_search(
@@ -100,28 +468,184 @@ def parallel_search(
     workers: int = 2,
     limit: Optional[int] = None,
     tasks_per_worker: int = 4,
+    start_method: Optional[str] = None,
     **matcher_kwargs,
 ) -> List[Tuple[int, ...]]:
     """All (or first ``limit``) embeddings, computed in parallel.
 
-    The embedding *set* equals the sequential one; ordering follows the
-    root-candidate partition, not the sequential enumeration order.
+    Materialized form of :func:`parallel_search_iter`."""
+    return list(
+        parallel_search_iter(
+            data, query, workers=workers, limit=limit,
+            tasks_per_worker=tasks_per_worker, start_method=start_method,
+            **matcher_kwargs,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistent pool
+# ----------------------------------------------------------------------
+class MatcherPool:
+    """A reusable worker pool serving many queries over one data graph.
+
+    Forking (or spawning) a pool per query wastes the data-graph setup;
+    a serving deployment keeps one ``MatcherPool`` per data graph and
+    pushes every query through it::
+
+        with MatcherPool(data, workers=4) as pool:
+            n = pool.count(query_a)
+            for embedding in pool.search_iter(query_b, limit=100):
+                ...
+
+    Per query, the parent prepares the plan once (repeated queries hit
+    the :class:`CFLMatch` LRU plan cache and skip even that), pickles
+    its wire form a single time, and ships it alongside each chunk;
+    workers decode it at most once each and keep a small plan LRU, so a
+    hot query costs the workers no preparation at all.  Not thread-safe:
+    run one query at a time per pool.
     """
-    matcher = CFLMatch(data, **matcher_kwargs)
-    roots = _root_candidates(matcher, query)
-    if not roots:
-        return []
-    if workers <= 1 or len(roots) == 1:
-        return list(matcher.search(query, limit=limit))
-    chunks = _chunks(roots, workers * tasks_per_worker)
-    context = multiprocessing.get_context("fork")
-    with context.Pool(
-        workers, initializer=_init_worker, initargs=(data, query, matcher_kwargs)
-    ) as pool:
-        partials = pool.map(_search_chunk, [(chunk, limit) for chunk in chunks])
-    results: List[Tuple[int, ...]] = []
-    for part in partials:
-        results.extend(part)
-        if limit is not None and len(results) >= limit:
-            return results[:limit]
-    return results
+
+    def __init__(
+        self,
+        data: Graph,
+        workers: Optional[int] = None,
+        tasks_per_worker: int = 4,
+        start_method: Optional[str] = None,
+        plan_cache_size: int = 16,
+        **matcher_kwargs,
+    ):
+        self.data = data
+        self.workers = workers if workers is not None else _default_workers()
+        self.tasks_per_worker = tasks_per_worker
+        self.matcher = CFLMatch(
+            data, plan_cache_size=plan_cache_size, **matcher_kwargs
+        )
+        self.start_method = start_method or _default_start_method()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._cancel = self._ctx.Event()
+        self._pool = self._ctx.Pool(
+            max(self.workers, 1),
+            initializer=_init_pool_worker,
+            initargs=(data, matcher_kwargs, self._cancel),
+        )
+        self._closed = False
+        # plan epoch bookkeeping: signature -> (key, pickled wire blob)
+        self._plan_blobs: "OrderedDict[tuple, Tuple[int, bytes]]" = OrderedDict()
+        self._next_key = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "MatcherPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the workers; the pool cannot be used afterwards."""
+        if not self._closed:
+            self._closed = True
+            self._cancel.set()
+            self._pool.terminate()
+            self._pool.join()
+
+    # -- internals -----------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("MatcherPool is closed")
+
+    def _plan_blob(self, query: Graph, plan: PreparedQuery) -> Tuple[int, bytes]:
+        """Pickle the plan wire form once per distinct query (LRU-kept in
+        lock-step with the matcher's plan cache capacity)."""
+        signature = query.signature()
+        entry = self._plan_blobs.get(signature)
+        if entry is not None:
+            self._plan_blobs.move_to_end(signature)
+            return entry
+        payload = {
+            "labels": list(query.labels),
+            "edges": list(query.edges()),
+            "wire": encode_plan(plan),
+        }
+        entry = (self._next_key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        self._next_key += 1
+        self._plan_blobs[signature] = entry
+        capacity = max(self.matcher.plan_cache_size, 1)
+        while len(self._plan_blobs) > capacity:
+            self._plan_blobs.popitem(last=False)
+        return entry
+
+    def _start_query(self, query: Graph):
+        """Shared per-query setup; returns (plan, chunks-or-None)."""
+        self._require_open()
+        plan = self.matcher.prepare(query)
+        if plan.cpi.is_empty():
+            return plan, None
+        roots = list(plan.cpi.candidates[plan.root])
+        if self.workers <= 1 or len(roots) <= 1:
+            return plan, None
+        self._cancel.clear()
+        chunks = _cost_weighted_chunks(
+            roots,
+            estimate_root_costs(plan.cpi),
+            self.workers * self.tasks_per_worker,
+        )
+        return plan, chunks
+
+    # -- query API -----------------------------------------------------
+    def count(self, query: Graph, limit: Optional[int] = None) -> int:
+        """Parallel :meth:`CFLMatch.count` through the persistent pool."""
+        if limit is not None and limit <= 0:
+            return 0
+        plan, chunks = self._start_query(query)
+        if chunks is None:
+            if plan.cpi.is_empty():
+                return 0
+            return self.matcher.count(query, limit=limit, prepared=plan)
+        key, blob = self._plan_blob(query, plan)
+        total = 0
+        max_inflight = self.workers if limit is not None else len(chunks)
+        for part in _dispatch(
+            self._pool, _pool_count_task, lambda c, b: (key, blob, c, b),
+            chunks, limit, self._cancel, lambda value: value, max_inflight,
+        ):
+            total += part
+        if limit is not None:
+            return min(total, limit)
+        return total
+
+    def search_iter(
+        self, query: Graph, limit: Optional[int] = None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Stream embeddings (unordered) through the persistent pool."""
+        if limit is not None and limit <= 0:
+            return
+        plan, chunks = self._start_query(query)
+        if chunks is None:
+            if plan.cpi.is_empty():
+                return
+            yield from self.matcher.search(query, limit=limit, prepared=plan)
+            return
+        key, blob = self._plan_blob(query, plan)
+        emitted = 0
+        max_inflight = self.workers if limit is not None else len(chunks)
+        try:
+            for part in _dispatch(
+                self._pool, _pool_search_task, lambda c, b: (key, blob, c, b),
+                chunks, limit, self._cancel, len, max_inflight,
+            ):
+                for embedding in part:
+                    yield embedding
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
+        finally:
+            # Abandoned mid-stream: stop in-flight work so the pool is
+            # immediately reusable; the next query clears the event.
+            self._cancel.set()
+
+    def search(
+        self, query: Graph, limit: Optional[int] = None
+    ) -> List[Tuple[int, ...]]:
+        """All (or first ``limit``) embeddings via :meth:`search_iter`."""
+        return list(self.search_iter(query, limit=limit))

@@ -39,6 +39,7 @@ class Graph:
         "_nlf",
         "_mnd",
         "_csr",
+        "_signature",
     )
 
     def __init__(self, labels: Sequence[int], edges: Iterable[Tuple[int, int]]):
@@ -68,6 +69,7 @@ class Graph:
         self._nlf: Optional[List[Dict[int, int]]] = None
         self._mnd: Optional[List[int]] = None
         self._csr = None  # lazy (indptr, indices, labels, degrees) arrays
+        self._signature = None  # lazy structural key, see signature()
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -112,6 +114,19 @@ class Graph:
             for v in nbrs:
                 if u < v:
                     yield (u, v)
+
+    def signature(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+        """Exact structural key ``(labels, sorted edges)``, computed once.
+
+        Two graphs with equal signatures are the *same* labeled graph
+        (identical vertex ids, labels and edge set), which makes the
+        signature a collision-free plan-cache key.  It deliberately does
+        not canonicalize up to isomorphism — that would be as hard as
+        the matching problem itself.
+        """
+        if self._signature is None:
+            self._signature = (tuple(self.labels), tuple(self.edges()))
+        return self._signature
 
     @property
     def num_labels(self) -> int:

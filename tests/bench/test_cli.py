@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.graph import save_graph
-from repro.workloads.paper_graphs import figure3_example
+from repro.workloads.paper_graphs import figure1_example, figure3_example
 
 
 @pytest.fixture
@@ -59,6 +59,52 @@ class TestCommands:
         data, query = graph_files
         main(["count", "--data", data, "--query", query, "--limit", "2"])
         assert capsys.readouterr().out.startswith("2+")
+
+    def test_match_workers_matches_sequential(self, tmp_path, capsys):
+        """Differential: --workers 2 must emit the same embedding lines."""
+        ex = figure1_example(8, 8)
+        data_path, query_path = tmp_path / "d.graph", tmp_path / "q.graph"
+        save_graph(ex.data, data_path)
+        save_graph(ex.query, query_path)
+        args = ["match", "--data", str(data_path), "--query", str(query_path)]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        seq_lines = sorted(l for l in sequential.splitlines() if l.startswith("u0->"))
+        par_lines = sorted(l for l in parallel.splitlines() if l.startswith("u0->"))
+        assert seq_lines and par_lines == seq_lines
+
+    def test_count_workers_matches_sequential(self, tmp_path, capsys):
+        ex = figure1_example(8, 8)
+        data_path, query_path = tmp_path / "d.graph", tmp_path / "q.graph"
+        save_graph(ex.data, data_path)
+        save_graph(ex.query, query_path)
+        args = ["count", "--data", str(data_path), "--query", str(query_path)]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out.split()[0]
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out.split()[0] == sequential == "8"
+
+    def test_match_workers_rejects_baselines(self, graph_files, capsys):
+        data, query = graph_files
+        rc = main(
+            ["match", "--data", data, "--query", query,
+             "--algorithm", "QuickSI", "--workers", "2"]
+        )
+        assert rc == 2
+        assert "requires CFL-Match" in capsys.readouterr().err
+
+    def test_match_workers_with_limit(self, tmp_path, capsys):
+        ex = figure1_example(10, 10)
+        data_path, query_path = tmp_path / "d.graph", tmp_path / "q.graph"
+        save_graph(ex.data, data_path)
+        save_graph(ex.query, query_path)
+        assert main(
+            ["match", "--data", str(data_path), "--query", str(query_path),
+             "--workers", "2", "--limit", "3", "--quiet"]
+        ) == 0
+        assert "# 3 embedding(s)" in capsys.readouterr().out
 
     def test_datasets_listing(self, capsys):
         assert main(["datasets"]) == 0

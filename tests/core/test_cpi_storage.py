@@ -107,3 +107,36 @@ class TestSerialization:
         _, compiled = self._compiled_for(case)
         payload = json.loads(json.dumps(compiled.to_dict()))
         assert payload["parent"][compiled.root] is None
+
+
+class TestDecompile:
+    """``to_cpi`` inverts ``from_cpi`` given the two graphs — the wire
+    format the shared-plan parallel engine ships to spawn workers."""
+
+    def test_to_cpi_round_trip(self):
+        spec = WorkloadSpec(scenarios=CONNECTED_QUERY_SCENARIOS)
+        for index in range(12):
+            case = generate_case(4096, index, spec)
+            cpi = build_cpi(case.query, case.data, 0)
+            compiled = CompiledCPI.from_cpi(cpi)
+            restored = compiled.to_cpi(case.query, case.data)
+            assert restored.root == cpi.root
+            assert restored.candidates == cpi.candidates
+            assert restored.cand_sets == cpi.cand_sets
+            for u in case.query.vertices():
+                p = cpi.tree.parent[u]
+                assert restored.tree.parent[u] == p
+                if p is None:
+                    continue
+                for v_p in cpi.candidates[p]:
+                    assert restored.child_candidates(u, v_p) == cpi.child_candidates(
+                        u, v_p
+                    )
+            assert restored.size() == cpi.size()
+
+    def test_to_cpi_via_json(self):
+        case = generate_case(4096, 1)
+        cpi = build_cpi(case.query, case.data, 0)
+        payload = json.loads(json.dumps(CompiledCPI.from_cpi(cpi).to_dict()))
+        restored = CompiledCPI.from_dict(payload).to_cpi(case.query, case.data)
+        assert restored.candidates == cpi.candidates
