@@ -7,8 +7,11 @@ Measures, on a dense-core fuzz workload:
 * how many times ``prepare()`` actually ran per parallel query
   (the shared-plan engine's invariant: exactly one),
 * ``MatcherPool`` serving throughput over a stream of repeated
-  queries versus re-forking a fresh pool per query, and
-* the ``CFLMatch`` plan-cache hit behaviour that backs the pool.
+  queries versus re-forking a fresh pool per query,
+* the ``CFLMatch`` plan-cache hit behaviour that backs the pool, and
+* sequential vs worker-aggregated search counters (the observability
+  layer's invariant: merging per-chunk ``SearchStats`` reproduces the
+  single-process counters exactly).
 
 Results land in ``BENCH_parallel.json`` (override with ``--out``).
 Speedup numbers are only meaningful on multi-core machines; the
@@ -32,7 +35,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.core import CFLMatch, MatcherPool
-from repro.core.parallel import parallel_count
+from repro.core.parallel import parallel_count, parallel_run
 from repro.testing.workloads import WorkloadSpec, generate_case
 
 
@@ -143,6 +146,30 @@ def bench_plan_cache(case, queries: int) -> Dict:
     }
 
 
+def bench_counters(case, workers: int) -> Dict:
+    """Sequential vs worker-aggregated search counters on the workload.
+
+    Both runs count all embeddings (no limit), so every counter —
+    build-side and enumeration-side — must agree exactly when the
+    per-chunk worker stats are merged back together.
+    """
+    seq = CFLMatch(case.data).run(case.query, limit=None, count_only=True)
+    par = parallel_run(
+        case.data, case.query, workers=workers, limit=None, count_only=True
+    )
+    seq_counters = seq.counters()
+    par_counters = par.counters()
+    return {
+        "workers": workers,
+        "embeddings": seq.embeddings,
+        "sequential": seq_counters,
+        "parallel_aggregate": par_counters,
+        "aggregation_consistent": (
+            seq_counters == par_counters and seq.embeddings == par.embeddings
+        ),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_parallel.json")
@@ -197,6 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             case, workers=min(2, max(args.workers)), queries=args.serving_queries
         ),
         "plan_cache": bench_plan_cache(case, queries=args.serving_queries),
+        "counters": bench_counters(case, workers=min(4, max(2, max(args.workers)))),
     }
 
     for row in report["scaling"]["rows"]:
@@ -205,6 +233,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"shared-plan invariant violated: {row['prepares_per_query']} "
                 f"prepares at workers={row['workers']}"
             )
+    if not report["counters"]["aggregation_consistent"]:
+        raise AssertionError(
+            "worker-aggregated counters diverged from the sequential run"
+        )
 
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -23,6 +23,7 @@ from ..baselines import (
     VF2Match,
 )
 from ..core.matcher import CFLMatch, MatchReport
+from ..core.stats import SearchStats
 from ..graph.graph import Graph
 
 INF = math.inf
@@ -97,6 +98,19 @@ class QuerySetResult:
         if not self.reports:
             return 0.0
         return sum(r.cpi_size for r in self.reports) / len(self.reports)
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Search counters summed across every query in the cell.
+
+        Merges each report's enumeration stats with its CPI-build stats
+        (baseline matchers carry default-zero stats, so the totals are
+        meaningful only for CFL-Match variants but safe for all).
+        """
+        total = SearchStats()
+        for r in self.reports:
+            total.merge(r.stats)
+            total.merge(r.build_stats)
+        return total.to_dict()
 
 
 def run_query_set(

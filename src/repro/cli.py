@@ -78,6 +78,47 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.profile import profile_query
+
+    data = load_graph(args.data)
+    query = load_graph(args.query)
+    profile = profile_query(
+        data,
+        query,
+        workers=args.workers,
+        limit=args.limit,
+        max_expansions=args.max_expansions,
+        time_limit_s=args.time_limit,
+        count_only=not args.enumerate,
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(profile, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(profile, indent=2))
+        return 0
+    print(
+        f"{profile['algorithm']}: {profile['embeddings']} embedding(s), "
+        f"status={profile['status']}, workers={args.workers}"
+    )
+    print("phase times (ms):")
+    for phase, seconds in profile["phase_times_s"].items():
+        print(f"  {phase:<14} {1000 * seconds:10.2f}")
+    print("stages (estimated vs actual breadth):")
+    for row in profile["stages"]:
+        print(
+            f"  {row['stage']:<8} vertices={row['vertices']:<3} "
+            f"estimated={row['estimated_breadth']:<10} "
+            f"actual={row['actual_expansions']}"
+        )
+    print("counters:")
+    for name, value in profile["counters"].items():
+        print(f"  {name:<28} {value}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names: List[str] = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     out_dir: Optional[Path] = Path(args.out) if args.out else None
@@ -198,6 +239,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--data", required=True)
     p_explain.add_argument("--query", required=True)
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one query and report every counter and per-phase timer",
+    )
+    p_profile.add_argument("data", help="data graph file (t/v/e format)")
+    p_profile.add_argument("query", help="query graph file (t/v/e format)")
+    p_profile.add_argument(
+        "--json", action="store_true", help="emit the profile as JSON on stdout"
+    )
+    p_profile.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the JSON to PATH"
+    )
+    p_profile.add_argument(
+        "--workers", type=int, default=1,
+        help="enumerate through the parallel engine and aggregate worker "
+             "counters (1 = sequential)",
+    )
+    p_profile.add_argument("--limit", type=int, default=None)
+    p_profile.add_argument(
+        "--max-expansions", type=int, default=None,
+        help="work budget: stop after this many partial-match expansions "
+             "(status becomes budget_exhausted; workers=1 only)",
+    )
+    p_profile.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget covering CPI build and enumeration "
+             "(status becomes timed_out; workers=1 only)",
+    )
+    p_profile.add_argument(
+        "--enumerate", action="store_true",
+        help="materialize embeddings instead of NEC-combination counting",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_exp = sub.add_parser("experiment", help="reproduce a paper figure/table")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])

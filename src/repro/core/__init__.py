@@ -19,7 +19,13 @@ from .leaf_match import (
     count_leaf_matches,
     enumerate_leaf_matches,
 )
-from .explain import estimate_embeddings, explain, render_plan
+from .explain import (
+    estimate_embeddings,
+    explain,
+    render_breadth,
+    render_plan,
+    stage_breadth,
+)
 from .hierarchy import (
     forest_independent_set,
     hierarchical_core_order,
@@ -45,10 +51,25 @@ from .ordering import (
 from .parallel import (
     MatcherPool,
     parallel_count,
+    parallel_run,
     parallel_search,
     parallel_search_iter,
 )
+from .profile import (
+    PROFILE_SCHEMA,
+    profile_query,
+    validate_profile,
+    validate_schema,
+)
 from .root_selection import select_root
+from .stats import (
+    BudgetExhausted,
+    WorkBudget,
+    aggregate_stage_stats,
+    cpi_level_totals,
+    empty_phase_times,
+    merge_phase_times,
+)
 from .verify import (
     EmbeddingSetDiff,
     diff_embedding_lists,
@@ -84,7 +105,9 @@ __all__ = [
     "enumerate_leaf_matches",
     "estimate_embeddings",
     "explain",
+    "render_breadth",
     "render_plan",
+    "stage_breadth",
     "forest_independent_set",
     "hierarchical_core_order",
     "hierarchical_shells",
@@ -104,9 +127,20 @@ __all__ = [
     "validate_matching_order",
     "MatcherPool",
     "parallel_count",
+    "parallel_run",
     "parallel_search",
     "parallel_search_iter",
+    "PROFILE_SCHEMA",
+    "profile_query",
+    "validate_profile",
+    "validate_schema",
     "select_root",
+    "BudgetExhausted",
+    "WorkBudget",
+    "aggregate_stage_stats",
+    "cpi_level_totals",
+    "empty_phase_times",
+    "merge_phase_times",
     "EmbeddingSetDiff",
     "diff_embedding_lists",
     "verification_report",

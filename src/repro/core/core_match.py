@@ -21,6 +21,18 @@ from typing import Iterator, List, Optional, Sequence
 
 from ..graph.graph import Graph
 from .cpi import CPI
+from .stats import BudgetExhausted, SearchStats, WorkBudget
+
+__all__ = [
+    "BudgetExhausted",
+    "CPIBacktracker",
+    "OrderedVertex",
+    "SearchStats",
+    "SearchTimeout",
+    "WorkBudget",
+    "build_ordered_vertices",
+    "validate_embedding",
+]
 
 
 class SearchTimeout(Exception):
@@ -30,20 +42,6 @@ class SearchTimeout(Exception):
     1024 search nodes, so even a search that never emits an embedding
     (the paper's "INF" cases) terminates promptly.
     """
-
-
-@dataclass
-class SearchStats:
-    """Counters shared across the stages of one match run."""
-
-    nodes: int = 0          # candidate vertices tried (partial embeddings)
-    embeddings: int = 0     # full embeddings emitted
-
-    def merged_with(self, other: "SearchStats") -> "SearchStats":
-        return SearchStats(
-            nodes=self.nodes + other.nodes,
-            embeddings=self.embeddings + other.embeddings,
-        )
 
 
 @dataclass(frozen=True)
@@ -109,11 +107,13 @@ class CPIBacktracker:
         ordered: Sequence[OrderedVertex],
         stats: Optional[SearchStats] = None,
         deadline: Optional[float] = None,
+        budget: Optional[WorkBudget] = None,
     ):
         self.cpi = cpi
         self.ordered = list(ordered)
         self.stats = stats if stats is not None else SearchStats()
         self.deadline = deadline
+        self.budget = budget
 
     def extend(self, mapping: List[int], used: bytearray) -> Iterator[None]:
         """Yield once per complete assignment of this stage's vertices.
@@ -134,6 +134,7 @@ class CPIBacktracker:
         candidates = cpi.candidates
         adjacency = cpi.adjacency
         stats = self.stats
+        budget = self.budget
 
         iterators: List[Optional[Iterator[int]]] = [None] * k
         iterators[0] = iter(self._slot_candidates(ordered[0], mapping, candidates, adjacency))
@@ -146,6 +147,7 @@ class CPIBacktracker:
             assert iterator is not None
             for v in iterator:
                 if used[v]:
+                    stats.injectivity_conflicts += 1
                     continue
                 ok = True
                 for w in slot.backward_neighbors:
@@ -153,7 +155,10 @@ class CPIBacktracker:
                         ok = False
                         break
                 if not ok:
+                    stats.edge_check_failures += 1
                     continue
+                if budget is not None:
+                    budget.charge()
                 stats.nodes += 1
                 if (
                     self.deadline is not None
@@ -178,6 +183,7 @@ class CPIBacktracker:
                 continue
             depth -= 1
             if depth >= 0:
+                stats.backtracks += 1
                 u = ordered[depth].u
                 v = mapping[u]
                 used[v] = 0

@@ -17,17 +17,69 @@ Minimizing a sound CPI is NP-hard (Lemma 4.1), so the paper constructs a
 Together, both directions of every query edge are exploited for pruning
 (Table 2).  The *naive* builder of Section 4.1 (label-only candidates) is
 also provided — it backs the ``CFL-Match-Naive`` variant of Figure 15.
+
+Both builders accept an optional :class:`~repro.core.stats.SearchStats`
+(per-filter prune counts and the top-down vs bottom-up refinement delta
+— see :mod:`repro.core.stats`) and an optional absolute ``deadline``
+checked once per query vertex, so a run whose budget expires *during*
+CPI construction terminates with :class:`SearchTimeout` instead of
+finishing an arbitrarily expensive build.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
 
 from ..graph.graph import Graph
+from .core_match import SearchTimeout
 from .cpi import CPI, QueryBFSTree
-from .filters import cand_verify
+from .filters import cand_verify, make_counting_verify
+from .stats import SearchStats
 
 VerifyFn = Callable[[Graph, Graph, int, int], bool]
+
+
+def _check_deadline(deadline: Optional[float]) -> None:
+    if deadline is not None and time.perf_counter() > deadline:
+        raise SearchTimeout
+
+
+def _root_candidates(
+    query: Graph,
+    data: Graph,
+    root: int,
+    verify: Optional[VerifyFn],
+    stats: Optional[SearchStats] = None,
+) -> List[int]:
+    """Lines 1-2 of Algorithm 3: label + degree + CandVerify on the root.
+
+    ``verify`` must already be counting-wrapped if per-filter attribution
+    is wanted; this helper only counts the degree prunes and the
+    structural (pre-CandVerify) survivors.
+    """
+    root_degree = query.degree(root)
+    cands: List[int] = []
+    for v in data.vertices_with_label(query.label(root)):
+        if data.degree(v) < root_degree:
+            if stats is not None:
+                stats.filter_degree_pruned += 1
+            continue
+        if stats is not None:
+            stats.cpi_candidates_structural += 1
+        if verify is not None and not verify(query, data, root, v):
+            continue
+        cands.append(v)
+    return cands
+
+
+def _record_build_totals(cpi: CPI, stats: Optional[SearchStats]) -> None:
+    if stats is None:
+        return
+    stats.cpi_candidates_final += sum(len(c) for c in cpi.candidates)
+    stats.cpi_edges_final += sum(
+        sum(len(row) for row in table.values()) for table in cpi.adjacency
+    )
 
 
 def build_cpi(
@@ -36,6 +88,8 @@ def build_cpi(
     root: int,
     refine: bool = True,
     verify: Optional[VerifyFn] = cand_verify,
+    stats: Optional[SearchStats] = None,
+    deadline: Optional[float] = None,
 ) -> CPI:
     """Build a small, sound CPI for ``query`` over ``data``.
 
@@ -43,19 +97,32 @@ def build_cpi(
     variant); ``verify=None`` disables the CandVerify MND/NLF filtering.
     """
     tree = QueryBFSTree.build(query, root)
-    cpi = _top_down_construct(tree, data, verify)
+    counted = make_counting_verify(verify, stats)
+    cpi = _top_down_construct(tree, data, counted, stats, deadline)
+    if stats is not None:
+        stats.cpi_candidates_topdown += sum(len(c) for c in cpi.candidates)
     if refine:
-        _bottom_up_refine(cpi)
+        _bottom_up_refine(cpi, stats, deadline)
+        if stats is not None:
+            stats.refine_passes += 1
+    _record_build_totals(cpi, stats)
     return cpi
 
 
-def build_naive_cpi(query: Graph, data: Graph, root: int) -> CPI:
+def build_naive_cpi(
+    query: Graph,
+    data: Graph,
+    root: int,
+    stats: Optional[SearchStats] = None,
+    deadline: Optional[float] = None,
+) -> CPI:
     """Section 4.1's naive sound CPI: ``u.C`` = all vertices labeled l(u)."""
     tree = QueryBFSTree.build(query, root)
     candidates = [list(data.vertices_with_label(query.label(u))) for u in query.vertices()]
     cand_sets = [set(c) for c in candidates]
     adjacency: List[Dict[int, List[int]]] = [dict() for _ in query.vertices()]
     for u in query.vertices():
+        _check_deadline(deadline)
         parent = tree.parent[u]
         if parent is None:
             continue
@@ -65,13 +132,25 @@ def build_naive_cpi(query: Graph, data: Graph, root: int) -> CPI:
             row = [v for v in data.neighbors(v_p) if v in u_set]
             if row:
                 table[v_p] = row
-    return CPI(tree, data, candidates, adjacency)
+    cpi = CPI(tree, data, candidates, adjacency)
+    if stats is not None:
+        total = sum(len(c) for c in candidates)
+        stats.cpi_candidates_structural += total
+        stats.cpi_candidates_topdown += total
+    _record_build_totals(cpi, stats)
+    return cpi
 
 
 # ----------------------------------------------------------------------
 # Top-down construction (Algorithm 3)
 # ----------------------------------------------------------------------
-def _top_down_construct(tree: QueryBFSTree, data: Graph, verify: Optional[VerifyFn]) -> CPI:
+def _top_down_construct(
+    tree: QueryBFSTree,
+    data: Graph,
+    verify: Optional[VerifyFn],
+    stats: Optional[SearchStats] = None,
+    deadline: Optional[float] = None,
+) -> CPI:
     query = tree.query
     n_q = query.num_vertices
     root = tree.root
@@ -79,16 +158,7 @@ def _top_down_construct(tree: QueryBFSTree, data: Graph, verify: Optional[Verify
     candidates: List[List[int]] = [[] for _ in range(n_q)]
     adjacency: List[Dict[int, List[int]]] = [dict() for _ in range(n_q)]
 
-    # Lines 1-2: root candidates by label + degree + CandVerify.
-    root_label = query.label(root)
-    root_degree = query.degree(root)
-    root_cands = [
-        v
-        for v in data.vertices_with_label(root_label)
-        if data.degree(v) >= root_degree
-        and (verify is None or verify(query, data, root, v))
-    ]
-    candidates[root] = root_cands
+    candidates[root] = _root_candidates(query, data, root, verify, stats)
 
     visited = [False] * n_q
     visited[root] = True
@@ -98,6 +168,7 @@ def _top_down_construct(tree: QueryBFSTree, data: Graph, verify: Optional[Verify
     for level_vertices in tree.levels[1:]:
         # ---- Forward candidate generation (Lines 5-17) ----
         for u in level_vertices:
+            _check_deadline(deadline)
             total, touched = 0, []
             for u_prime in query.neighbors(u):
                 if not visited[u_prime] and tree.level[u_prime] == tree.level[u]:
@@ -105,11 +176,15 @@ def _top_down_construct(tree: QueryBFSTree, data: Graph, verify: Optional[Verify
                 elif visited[u_prime]:
                     _accumulate(query, data, u, candidates[u_prime], cnt, touched, total)
                     total += 1
-            u_cands = [
-                v
-                for v in touched
-                if cnt[v] == total and (verify is None or verify(query, data, u, v))
-            ]
+            u_cands: List[int] = []
+            for v in touched:
+                if cnt[v] != total:
+                    continue
+                if stats is not None:
+                    stats.cpi_candidates_structural += 1
+                if verify is not None and not verify(query, data, u, v):
+                    continue
+                u_cands.append(v)
             u_cands.sort()
             candidates[u] = u_cands
             visited[u] = True
@@ -121,16 +196,21 @@ def _top_down_construct(tree: QueryBFSTree, data: Graph, verify: Optional[Verify
             pending = unvisited_same_level[u]
             if not pending:
                 continue
+            _check_deadline(deadline)
             total, touched = 0, []
             for u_prime in pending:
                 _accumulate(query, data, u, candidates[u_prime], cnt, touched, total)
                 total += 1
+            before = len(candidates[u])
             candidates[u] = [v for v in candidates[u] if cnt[v] == total]
+            if stats is not None:
+                stats.filter_snte_pruned += before - len(candidates[u])
             for v in touched:
                 cnt[v] = 0
 
         # ---- Adjacency list construction (Lines 24-28) ----
         for u in level_vertices:
+            _check_deadline(deadline)
             u_parent = tree.parent[u]
             assert u_parent is not None
             u_label = query.label(u)
@@ -179,7 +259,11 @@ def _accumulate(
 # ----------------------------------------------------------------------
 # Bottom-up refinement (Algorithm 4)
 # ----------------------------------------------------------------------
-def _bottom_up_refine(cpi: CPI) -> None:
+def _bottom_up_refine(
+    cpi: CPI,
+    stats: Optional[SearchStats] = None,
+    deadline: Optional[float] = None,
+) -> None:
     tree = cpi.tree
     query = tree.query
     data = cpi.data
@@ -187,6 +271,7 @@ def _bottom_up_refine(cpi: CPI) -> None:
 
     for level_vertices in reversed(tree.levels):
         for u in level_vertices:
+            _check_deadline(deadline)
             lower = [
                 u_prime
                 for u_prime in query.neighbors(u)
@@ -207,10 +292,14 @@ def _bottom_up_refine(cpi: CPI) -> None:
                 if dropped:
                     cpi.candidates[u] = kept
                     cpi.cand_sets[u] = set(kept)
+                    if stats is not None:
+                        stats.refine_candidates_pruned += len(dropped)
                     for child in tree.children[u]:
                         child_table = cpi.adjacency[child]
                         for v in dropped:
-                            child_table.pop(v, None)
+                            removed = child_table.pop(v, None)
+                            if removed is not None and stats is not None:
+                                stats.refine_adjacency_pruned += len(removed)
                 for v in touched:
                     cnt[v] = 0
             # ---- Adjacency list pruning (Lines 8-11) ----
@@ -222,6 +311,8 @@ def _bottom_up_refine(cpi: CPI) -> None:
                     if row is None:
                         continue
                     pruned = [v_prime for v_prime in row if v_prime in child_set]
+                    if stats is not None:
+                        stats.refine_adjacency_pruned += len(row) - len(pruned)
                     if pruned:
                         child_table[v] = pruned
                     else:

@@ -24,8 +24,14 @@ import numpy as np
 
 from ..graph.graph import Graph
 from .cpi import CPI, QueryBFSTree
-from .cpi_builder import VerifyFn
-from .filters import cand_verify, nlf_ok
+from .cpi_builder import (
+    VerifyFn,
+    _check_deadline,
+    _record_build_totals,
+    _root_candidates,
+)
+from .filters import cand_verify, make_counting_verify, nlf_ok
+from .stats import SearchStats
 
 
 def _data_mnd_array(data: Graph) -> np.ndarray:
@@ -39,10 +45,17 @@ def _data_mnd_array(data: Graph) -> np.ndarray:
 class _NumpyBuildState:
     """Shared arrays for one build."""
 
-    def __init__(self, query: Graph, data: Graph, verify: Optional[VerifyFn]):
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        verify: Optional[VerifyFn],
+        stats: Optional[SearchStats] = None,
+    ):
         self.query = query
         self.data = data
         self.verify = verify
+        self.stats = stats
         self.indptr, self.indices, self.labels, self.degrees = data.csr()
         self.count = np.zeros(data.num_vertices, dtype=np.int64)
         self.vectorize_mnd = verify is cand_verify
@@ -107,27 +120,53 @@ class _NumpyBuildState:
         return len(neighbor_candidate_sets)
 
     def qualified(self, u: int, total: int) -> List[int]:
-        """Vertices counted ``total`` times passing all of u's filters."""
+        """Vertices counted ``total`` times passing all of u's filters.
+
+        Per-filter prune attribution mirrors the reference builder
+        exactly (mask-size deltas instead of per-candidate branches):
+        structural survivors, then MND drops, then NLF drops.
+        """
         query, data = self.query, self.data
+        stats = self.stats
         mask = self.count == total
         mask &= self.labels == query.label(u)
         mask &= self.degrees >= query.degree(u)
+        structural = int(mask.sum()) if stats is not None else 0
+        if stats is not None:
+            stats.cpi_candidates_structural += structural
         if self.vectorize_mnd:
             assert self.mnd is not None
             mask &= self.mnd >= query.mnd(u)
+            after_mnd = int(mask.sum()) if stats is not None else 0
+            if stats is not None:
+                stats.filter_mnd_pruned += structural - after_mnd
             nlf_matrix = self.nlf_matrix()
             if nlf_matrix is not None:
                 for lab, needed in query.nlf(u).items():
                     if lab < 0 or lab >= nlf_matrix.shape[1]:
-                        return []  # label absent from the data graph
+                        # label absent from the data graph: NLF kills all
+                        if stats is not None:
+                            stats.filter_nlf_pruned += after_mnd
+                        return []
                     mask &= nlf_matrix[:, lab] >= needed
-                return [int(v) for v in np.flatnonzero(mask)]
+                survivors = np.flatnonzero(mask)
+                if stats is not None:
+                    stats.filter_nlf_pruned += after_mnd - survivors.size
+                return [int(v) for v in survivors]
             survivors = np.flatnonzero(mask)
-            return [int(v) for v in survivors if nlf_ok(query, data, u, int(v))]
+            kept: List[int] = []
+            for raw in survivors:
+                v = int(raw)
+                if nlf_ok(query, data, u, v):
+                    kept.append(v)
+                elif stats is not None:
+                    stats.filter_nlf_pruned += 1
+            return kept
         survivors = np.flatnonzero(mask)
         if self.verify is None:
             return [int(v) for v in survivors]
-        return [int(v) for v in survivors if self.verify(query, data, u, int(v))]
+        verify = make_counting_verify(self.verify, stats)
+        return [int(v) for v in survivors if verify(query, data, u, int(v))]
 
     def reset(self) -> None:
         self.count[:] = 0
@@ -139,30 +178,40 @@ def build_cpi_numpy(
     root: int,
     refine: bool = True,
     verify: Optional[VerifyFn] = cand_verify,
+    stats: Optional[SearchStats] = None,
+    deadline: Optional[float] = None,
 ) -> CPI:
-    """Vectorized equivalent of :func:`repro.core.cpi_builder.build_cpi`."""
+    """Vectorized equivalent of :func:`repro.core.cpi_builder.build_cpi`.
+
+    Produces identical CPIs *and* identical :class:`SearchStats` build
+    counters to the reference builder (property-tested).
+    """
     tree = QueryBFSTree.build(query, root)
-    state = _NumpyBuildState(query, data, verify)
-    cpi = _top_down(tree, state)
+    state = _NumpyBuildState(query, data, verify, stats)
+    cpi = _top_down(tree, state, deadline)
+    if stats is not None:
+        stats.cpi_candidates_topdown += sum(len(c) for c in cpi.candidates)
     if refine:
-        _bottom_up(cpi, state)
+        _bottom_up(cpi, state, deadline)
+        if stats is not None:
+            stats.refine_passes += 1
+    _record_build_totals(cpi, stats)
     return cpi
 
 
-def _top_down(tree: QueryBFSTree, state: _NumpyBuildState) -> CPI:
+def _top_down(
+    tree: QueryBFSTree, state: _NumpyBuildState, deadline: Optional[float] = None
+) -> CPI:
     query, data = state.query, state.data
     n_q = query.num_vertices
     root = tree.root
     candidates: List[List[int]] = [[] for _ in range(n_q)]
     adjacency: List[Dict[int, List[int]]] = [dict() for _ in range(n_q)]
 
-    root_degree = query.degree(root)
-    candidates[root] = [
-        v
-        for v in data.vertices_with_label(query.label(root))
-        if data.degree(v) >= root_degree
-        and (state.verify is None or state.verify(query, data, root, v))
-    ]
+    candidates[root] = _root_candidates(
+        query, data, root, make_counting_verify(state.verify, state.stats),
+        state.stats,
+    )
 
     visited = [False] * n_q
     visited[root] = True
@@ -172,6 +221,7 @@ def _top_down(tree: QueryBFSTree, state: _NumpyBuildState) -> CPI:
     for level_vertices in tree.levels[1:]:
         # Forward candidate generation.
         for u in level_vertices:
+            _check_deadline(deadline)
             visited_sets: List[List[int]] = []
             for u_prime in query.neighbors(u):
                 if not visited[u_prime] and tree.level[u_prime] == tree.level[u]:
@@ -187,13 +237,18 @@ def _top_down(tree: QueryBFSTree, state: _NumpyBuildState) -> CPI:
             pending = pending_same_level[u]
             if not pending:
                 continue
+            _check_deadline(deadline)
             total = state.accumulate([candidates[p] for p in pending])
             keep_count = state.count
+            before = len(candidates[u])
             candidates[u] = [v for v in candidates[u] if keep_count[v] == total]
+            if state.stats is not None:
+                state.stats.filter_snte_pruned += before - len(candidates[u])
             state.reset()
         # Adjacency list construction: gather every parent candidate's
         # neighborhood at once, then split the survivors per parent.
         for u in level_vertices:
+            _check_deadline(deadline)
             u_parent = tree.parent[u]
             assert u_parent is not None
             parents = candidates[u_parent]
@@ -218,11 +273,15 @@ def _top_down(tree: QueryBFSTree, state: _NumpyBuildState) -> CPI:
     return CPI(tree, data, candidates, adjacency)
 
 
-def _bottom_up(cpi: CPI, state: _NumpyBuildState) -> None:
+def _bottom_up(
+    cpi: CPI, state: _NumpyBuildState, deadline: Optional[float] = None
+) -> None:
     tree = cpi.tree
     query, data = state.query, state.data
+    stats = state.stats
     for level_vertices in reversed(tree.levels):
         for u in level_vertices:
+            _check_deadline(deadline)
             lower = [
                 w for w in query.neighbors(u) if tree.level[w] > tree.level[u]
             ]
@@ -238,10 +297,14 @@ def _bottom_up(cpi: CPI, state: _NumpyBuildState) -> None:
                 if dropped:
                     cpi.candidates[u] = kept
                     cpi.cand_sets[u] = set(kept)
+                    if stats is not None:
+                        stats.refine_candidates_pruned += len(dropped)
                     for child in tree.children[u]:
                         child_table = cpi.adjacency[child]
                         for v in dropped:
-                            child_table.pop(v, None)
+                            removed = child_table.pop(v, None)
+                            if removed is not None and stats is not None:
+                                stats.refine_adjacency_pruned += len(removed)
                 state.reset()
             for child in tree.children[u]:
                 member = np.zeros(data.num_vertices, dtype=bool)
@@ -252,6 +315,8 @@ def _bottom_up(cpi: CPI, state: _NumpyBuildState) -> None:
                     if row is None:
                         continue
                     pruned = [x for x in row if member[x]]
+                    if stats is not None:
+                        stats.refine_adjacency_pruned += len(row) - len(pruned)
                     if pruned:
                         child_table[v] = pruned
                     else:

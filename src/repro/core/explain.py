@@ -9,11 +9,11 @@ a query is fast or slow without reading counters.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..graph.graph import Graph
 from .cpi import CPI
-from .matcher import CFLMatch, PreparedQuery
+from .matcher import CFLMatch, MatchReport, PreparedQuery
 from .ordering import estimate_tree_embeddings
 
 
@@ -89,4 +89,62 @@ def render_plan(prepared: PreparedQuery, matcher: CFLMatch) -> str:
     else:
         lines.append("leaf plan: (no leaves)")
     lines.append(f"estimated embeddings (CPI tree bound): {estimate_embeddings(cpi)}")
+    return "\n".join(lines)
+
+
+def stage_breadth(
+    prepared: PreparedQuery, report: Optional[MatchReport] = None
+) -> List[Dict]:
+    """Estimated vs actual search breadth per enumeration stage.
+
+    The estimate for each stage is the CPI-tree cardinality bound
+    (Section 4.2.1's dynamic program) over the query vertices matched
+    *up to and including* that stage — how many partial embeddings the
+    plan predicts will survive it.  The actual column is the stage's
+    measured partial-match expansions from a :class:`MatchReport`
+    (omitted when no report is given, e.g. plain EXPLAIN).
+    """
+    cpi = prepared.cpi
+    cumulative: set = set()
+    stage_vertices = [
+        ("core", prepared.core_order),
+        ("forest", prepared.forest_order),
+        ("leaf", list(prepared.leaf_plan.leaf_vertices)),
+    ]
+    actual = {
+        "core": report.stats.core_expansions if report else None,
+        "forest": report.stats.forest_expansions if report else None,
+        "leaf": report.stats.leaf_expansions if report else None,
+    }
+    rows: List[Dict] = []
+    for stage, vertices in stage_vertices:
+        cumulative.update(vertices)
+        estimated = (
+            estimate_tree_embeddings(cpi, cpi.root, cumulative)
+            if vertices and cpi.root in cumulative
+            else 0
+        )
+        row: Dict = {
+            "stage": stage,
+            "vertices": len(vertices),
+            "estimated_breadth": estimated,
+        }
+        if report is not None:
+            row["actual_expansions"] = actual[stage]
+        rows.append(row)
+    return rows
+
+
+def render_breadth(prepared: PreparedQuery, report: MatchReport) -> str:
+    """Human-readable estimated-vs-actual breadth table per stage."""
+    lines = ["stage    vertices  estimated  actual"]
+    for row in stage_breadth(prepared, report):
+        lines.append(
+            f"{row['stage']:<8} {row['vertices']:>8}  "
+            f"{row['estimated_breadth']:>9}  {row['actual_expansions']:>6}"
+        )
+    lines.append(
+        f"embeddings: {report.embeddings} (estimate is an upper bound on "
+        f"tree embeddings surviving each stage)"
+    )
     return "\n".join(lines)

@@ -18,7 +18,10 @@ the MND and NLF checks exactly as Algorithm 6 does.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from ..graph.graph import Graph
+from .stats import SearchStats
 
 
 def label_degree_ok(query: Graph, data: Graph, u: int, v: int) -> bool:
@@ -50,3 +53,40 @@ def cand_verify(query: Graph, data: Graph, u: int, v: int) -> bool:
 def full_candidate_check(query: Graph, data: Graph, u: int, v: int) -> bool:
     """All four local filters; used for root candidates and baselines."""
     return label_degree_ok(query, data, u, v) and cand_verify(query, data, u, v)
+
+
+def make_counting_verify(
+    verify: Optional[Callable[[Graph, Graph, int, int], bool]],
+    stats: Optional[SearchStats],
+) -> Optional[Callable[[Graph, Graph, int, int], bool]]:
+    """Wrap a CandVerify callable so rejections are counted per filter.
+
+    For the default :func:`cand_verify` the MND and NLF rejections are
+    attributed to ``filter_mnd_pruned`` / ``filter_nlf_pruned``
+    (preserving Algorithm 6's check order); any other callable is
+    counted under ``filter_other_pruned``.  With ``stats=None`` (or
+    ``verify=None``) the original callable is returned untouched, so
+    the uncounted hot path pays nothing.
+    """
+    if stats is None or verify is None:
+        return verify
+    if verify is cand_verify:
+
+        def counted(query: Graph, data: Graph, u: int, v: int) -> bool:
+            if data.mnd(v) < query.mnd(u):
+                stats.filter_mnd_pruned += 1
+                return False
+            if not nlf_ok(query, data, u, v):
+                stats.filter_nlf_pruned += 1
+                return False
+            return True
+
+        return counted
+
+    def counted_other(query: Graph, data: Graph, u: int, v: int) -> bool:
+        if not verify(query, data, u, v):
+            stats.filter_other_pruned += 1
+            return False
+        return True
+
+    return counted_other

@@ -19,8 +19,8 @@ from itertools import combinations, permutations
 from math import factorial
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .core_match import SearchStats
 from .cpi import CPI
+from .stats import SearchStats, WorkBudget
 
 
 @dataclass(frozen=True)
@@ -98,17 +98,21 @@ def enumerate_leaf_matches(
     mapping: List[int],
     used: bytearray,
     stats: Optional[SearchStats] = None,
+    budget: Optional[WorkBudget] = None,
 ) -> Iterator[None]:
     """Yield once per complete leaf assignment, mutating ``mapping``.
 
     State is restored between yields; classes nest as a Cartesian product
     and NEC assignments expand combinations into permutations.
+    ``budget`` is charged one expansion per leaf vertex assigned.
     """
     if not plan.classes:
         yield None
         return
     prepared = _prepared_classes(cpi, plan, mapping, used)
     if prepared is None:
+        if stats is not None:
+            stats.leaf_shortcircuits += 1
         return
 
     def assign_class(class_idx: int, nec_idx: int) -> Iterator[None]:
@@ -125,6 +129,8 @@ def enumerate_leaf_matches(
         if len(available) < len(members):
             return
         for images in permutations(available, len(members)):
+            if budget is not None:
+                budget.charge(len(members))
             for u, v in zip(members, images):
                 mapping[u] = v
                 used[v] = 1
@@ -144,17 +150,27 @@ def count_leaf_matches(
     mapping: List[int],
     used: bytearray,
     cap: Optional[int] = None,
+    stats: Optional[SearchStats] = None,
+    budget: Optional[WorkBudget] = None,
 ) -> int:
     """Number of leaf assignments without enumerating permutations.
 
     Per class, NEC combinations are explored with backtracking and each
     NEC of size m contributes a factor ``m!``; classes multiply (Lemma
     4.3).  ``cap`` allows early exit once the count can only exceed it.
+
+    With ``stats``, each explored combination counts its ``m`` member
+    assignments as expansions (``nodes``), bumps ``nec_groups`` and
+    records the ``m! - 1`` permutations that combination counting never
+    enumerates under ``nec_permutations_skipped``; ``budget`` is charged
+    the same ``m`` expansions.
     """
     if not plan.classes:
         return 1
     prepared = _prepared_classes(cpi, plan, mapping, used)
     if prepared is None:
+        if stats is not None:
+            stats.leaf_shortcircuits += 1
         return 0
 
     def count_class(rows: List[Tuple[LeafNEC, List[int]]], idx: int) -> int:
@@ -168,6 +184,12 @@ def count_leaf_matches(
         perms = factorial(m)
         total = 0
         for combo in combinations(available, m):
+            if budget is not None:
+                budget.charge(m)
+            if stats is not None:
+                stats.nodes += m
+                stats.nec_groups += 1
+                stats.nec_permutations_skipped += perms - 1
             for v in combo:
                 used[v] = 1
             total += perms * count_class(rows, idx + 1)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..graph.graph import Graph, GraphError
 from .core_match import (
@@ -34,11 +34,17 @@ from .core_match import (
     build_ordered_vertices,
 )
 from .cpi import CPI
-from .cpi_builder import build_cpi, build_naive_cpi
+from .cpi_builder import _record_build_totals, build_cpi, build_naive_cpi
 from .decomposition import CFLDecomposition, cfl_decompose
 from .leaf_match import LeafPlan, build_leaf_plan, count_leaf_matches, enumerate_leaf_matches
 from .ordering import estimate_tree_embeddings, order_structure
 from .root_selection import select_root
+from .stats import (
+    BudgetExhausted,
+    WorkBudget,
+    aggregate_stage_stats,
+    empty_phase_times,
+)
 
 MODES = ("cfl", "cf", "match")
 CPI_MODES = ("full", "td", "naive")
@@ -61,6 +67,11 @@ class PreparedQuery:
     forest_slots: List[OrderedVertex]
     leaf_plan: LeafPlan
     ordering_time: float
+    #: per-phase split of ``ordering_time`` (decomposition / cpi_build /
+    #: ordering); every preparation path fills the same keys.
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: CandVerify / CPI-construction counters recorded while building.
+    build_stats: SearchStats = field(default_factory=SearchStats)
 
     @property
     def matching_order(self) -> List[int]:
@@ -82,10 +93,45 @@ class MatchReport:
     results: Optional[List[Tuple[int, ...]]] = None
     # per-stage search-node counters (core/forest/leaf), for analysis
     stage_nodes: Optional[dict] = None
+    #: the run stopped because its expansion budget ran out
+    budget_exhausted: bool = False
+    #: per-phase wall-clock split (decomposition/cpi_build/ordering/enumeration)
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: CandVerify / CPI-construction counters (separate from ``stats`` so
+    #: cached-plan reuse never double-counts build work)
+    build_stats: SearchStats = field(default_factory=SearchStats)
 
     @property
     def total_time(self) -> float:
         return self.ordering_time + self.enumeration_time
+
+    @property
+    def status(self) -> str:
+        """``"ok"``, ``"timed_out"`` or ``"budget_exhausted"``."""
+        if self.timed_out:
+            return "timed_out"
+        if self.budget_exhausted:
+            return "budget_exhausted"
+        return "ok"
+
+    def counters(self) -> Dict[str, int]:
+        """Build + enumeration counters merged into one flat dict."""
+        return self.stats.merged_with(self.build_stats).to_dict()
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (embeddings, timers, flat counters)."""
+        return {
+            "embeddings": self.embeddings,
+            "status": self.status,
+            "ordering_time_s": self.ordering_time,
+            "enumeration_time_s": self.enumeration_time,
+            "total_time_s": self.total_time,
+            "phase_times_s": dict(self.phase_times),
+            "cpi_size": self.cpi_size,
+            "candidate_counts": list(self.candidate_counts),
+            "counters": self.counters(),
+            "stage_nodes": dict(self.stage_nodes) if self.stage_nodes else {},
+        }
 
 
 class CFLMatch:
@@ -152,13 +198,25 @@ class CFLMatch:
     # ------------------------------------------------------------------
     # Preparation (ordering phase)
     # ------------------------------------------------------------------
-    def prepare(self, query: Graph, use_cache: bool = True) -> PreparedQuery:
+    def prepare(
+        self,
+        query: Graph,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+        build_stats: Optional[SearchStats] = None,
+    ) -> PreparedQuery:
         """Decompose, build the CPI and compute the matching order.
 
         With ``use_cache`` (the default) a structurally identical query
         returns the LRU-cached plan without re-running any of it; pass
         ``use_cache=False`` for a fresh, honestly timed plan (what
         :meth:`run` does for benchmarking).
+
+        ``deadline`` aborts CPI construction with :class:`SearchTimeout`
+        when crossed.  ``build_stats`` receives the build counters as
+        they accrue — pass it to keep partial counts when the deadline
+        fires mid-build (a cache hit records nothing, by design: the
+        cached plan's own ``build_stats`` already holds its build cost).
         """
         caching = use_cache and self.plan_cache_size > 0
         if caching:
@@ -168,7 +226,14 @@ class CFLMatch:
                 self._plan_cache.move_to_end(key)
                 self.plan_cache_hits += 1
                 return cached
-        plan = self._prepare_fresh(query)
+        # Keyword args are forwarded only when set: test/benchmark
+        # instrumentation wraps _prepare_fresh with (self, query).
+        kwargs: Dict = {}
+        if deadline is not None:
+            kwargs["deadline"] = deadline
+        if build_stats is not None:
+            kwargs["build_stats"] = build_stats
+        plan = self._prepare_fresh(query, **kwargs)
         if caching:
             self._plan_cache[key] = plan
             while len(self._plan_cache) > self.plan_cache_size:
@@ -179,10 +244,18 @@ class CFLMatch:
         """Drop every cached plan (e.g. after swapping workloads)."""
         self._plan_cache.clear()
 
-    def _prepare_fresh(self, query: Graph) -> PreparedQuery:
+    def _prepare_fresh(
+        self,
+        query: Graph,
+        deadline: Optional[float] = None,
+        build_stats: Optional[SearchStats] = None,
+    ) -> PreparedQuery:
         if query.num_vertices == 0:
             raise GraphError("empty query")
         self.prepare_count += 1
+        if build_stats is None:
+            build_stats = SearchStats()
+        phase_times = empty_phase_times()
         started = time.perf_counter()
         decomposition = cfl_decompose(
             query,
@@ -193,8 +266,14 @@ class CFLMatch:
             root = select_root(query, self.data)
         else:
             root = select_root(query, self.data, eligible=decomposition.core)
-        cpi = self._build_cpi(query, root)
-        return self._assemble_plan(query, decomposition, root, cpi, started)
+        phase_times["decomposition"] = time.perf_counter() - started
+        cpi_started = time.perf_counter()
+        cpi = self._build_cpi(query, root, stats=build_stats, deadline=deadline)
+        phase_times["cpi_build"] = time.perf_counter() - cpi_started
+        return self._assemble_plan(
+            query, decomposition, root, cpi, started,
+            phase_times=phase_times, build_stats=build_stats,
+        )
 
     def prepare_from_cpi(
         self,
@@ -214,14 +293,22 @@ class CFLMatch:
         """
         if query.num_vertices == 0:
             raise GraphError("empty query")
+        phase_times = empty_phase_times()
         started = time.perf_counter()
         decomposition = cfl_decompose(
             query,
             root_chooser=lambda q: select_root(q, self.data),
         )
+        phase_times["decomposition"] = time.perf_counter() - started
+        # The CPI arrived prebuilt (cpi_build stays 0.0) but its size
+        # counters are still recorded so worker-side profiles are never
+        # partially zeroed.
+        build_stats = SearchStats()
+        _record_build_totals(cpi, build_stats)
         return self._assemble_plan(
             query, decomposition, cpi.root, cpi, started,
             core_order=core_order, forest_order=forest_order,
+            phase_times=phase_times, build_stats=build_stats,
         )
 
     def _assemble_plan(
@@ -233,7 +320,14 @@ class CFLMatch:
         started: float,
         core_order: Optional[List[int]] = None,
         forest_order: Optional[List[int]] = None,
+        phase_times: Optional[Dict[str, float]] = None,
+        build_stats: Optional[SearchStats] = None,
     ) -> PreparedQuery:
+        if phase_times is None:
+            phase_times = empty_phase_times()
+        if build_stats is None:
+            build_stats = SearchStats()
+        ordering_started = time.perf_counter()
         core_set: Set[int]
         if self.mode == "match":
             core_set = set(query.vertices())
@@ -264,7 +358,9 @@ class CFLMatch:
             cpi, forest_order, already_mapped=core_order, check_non_tree=False
         )
         leaf_plan = build_leaf_plan(cpi, leaf_vertices)
-        ordering_time = time.perf_counter() - started
+        now = time.perf_counter()
+        phase_times["ordering"] = now - ordering_started
+        ordering_time = now - started
         return PreparedQuery(
             query=query,
             decomposition=decomposition,
@@ -276,17 +372,32 @@ class CFLMatch:
             forest_slots=forest_slots,
             leaf_plan=leaf_plan,
             ordering_time=ordering_time,
+            phase_times=phase_times,
+            build_stats=build_stats,
         )
 
-    def _build_cpi(self, query: Graph, root: int) -> CPI:
+    def _build_cpi(
+        self,
+        query: Graph,
+        root: int,
+        stats: Optional[SearchStats] = None,
+        deadline: Optional[float] = None,
+    ) -> CPI:
         if self.cpi_mode == "naive":
-            return build_naive_cpi(query, self.data, root)
+            return build_naive_cpi(
+                query, self.data, root, stats=stats, deadline=deadline
+            )
         refine = self.cpi_mode == "full"
         if self.cpi_impl == "numpy":
             from .cpi_builder_numpy import build_cpi_numpy
 
-            return build_cpi_numpy(query, self.data, root, refine=refine)
-        return build_cpi(query, self.data, root, refine=refine)
+            return build_cpi_numpy(
+                query, self.data, root,
+                refine=refine, stats=stats, deadline=deadline,
+            )
+        return build_cpi(
+            query, self.data, root, refine=refine, stats=stats, deadline=deadline
+        )
 
     def _forest_order(
         self,
@@ -326,12 +437,15 @@ class CFLMatch:
         deadline: Optional[float] = None,
         stage_stats: Optional[dict] = None,
         root_candidates: Optional[List[int]] = None,
+        budget: Optional[WorkBudget] = None,
     ) -> Iterator[Tuple[int, ...]]:
         """Lazily yield embeddings (tuples mapping query vertex -> data
         vertex) until exhaustion or ``limit``.
 
         ``deadline`` (absolute ``perf_counter`` time) raises
-        :class:`SearchTimeout` mid-search when crossed.  Passing a dict
+        :class:`SearchTimeout` mid-search when crossed; ``budget`` is the
+        work analogue — all three stages draw from it and raise
+        :class:`BudgetExhausted` when it runs out.  Passing a dict
         as ``stage_stats`` fills it with per-stage ``SearchStats`` under
         the keys ``"core"``, ``"forest"`` and ``"leaf"``.
         ``root_candidates`` restricts the first matching-order vertex to
@@ -359,13 +473,18 @@ class CFLMatch:
             core_stats = forest_stats = leaf_stats = stats
         mapping = [-1] * query.num_vertices
         used = bytearray(self.data.num_vertices)
-        core_bt = CPIBacktracker(plan.cpi, plan.core_slots, core_stats, deadline=deadline)
-        forest_bt = CPIBacktracker(plan.cpi, plan.forest_slots, forest_stats, deadline=deadline)
+        core_bt = CPIBacktracker(
+            plan.cpi, plan.core_slots, core_stats, deadline=deadline, budget=budget
+        )
+        forest_bt = CPIBacktracker(
+            plan.cpi, plan.forest_slots, forest_stats, deadline=deadline, budget=budget
+        )
         emitted = 0
         for _ in core_bt.extend(mapping, used):
             for _ in forest_bt.extend(mapping, used):
                 for _ in enumerate_leaf_matches(
-                    plan.cpi, plan.leaf_plan, mapping, used, leaf_stats
+                    plan.cpi, plan.leaf_plan, mapping, used, leaf_stats,
+                    budget=budget,
                 ):
                     stats.embeddings += 1
                     emitted += 1
@@ -396,6 +515,8 @@ class CFLMatch:
             forest_slots=plan.forest_slots,
             leaf_plan=plan.leaf_plan,
             ordering_time=plan.ordering_time,
+            phase_times=plan.phase_times,
+            build_stats=plan.build_stats,
         )
 
     def count(
@@ -404,13 +525,19 @@ class CFLMatch:
         limit: Optional[int] = None,
         prepared: Optional[PreparedQuery] = None,
         root_candidates: Optional[List[int]] = None,
+        stats: Optional[SearchStats] = None,
+        stage_stats: Optional[dict] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[WorkBudget] = None,
     ) -> int:
         """Count embeddings without expanding leaf NEC permutations.
 
         With ``limit`` the count stops growing once it reaches the limit
         (mirroring "report the first k embeddings"); the exact total may
         be larger.  ``root_candidates`` restricts the root as in
-        :meth:`search`.
+        :meth:`search`; ``stats``/``stage_stats``/``deadline``/``budget``
+        mirror :meth:`search` (leaf expansions here count NEC
+        *combinations*, each worth its ``m`` member assignments).
         """
         plan = prepared if prepared is not None else self.prepare(query)
         if plan.cpi.is_empty():
@@ -421,20 +548,33 @@ class CFLMatch:
             if not filtered:
                 return 0
             plan = self._with_root_candidates(plan, filtered)
-        stats = SearchStats()
+        stats = stats if stats is not None else SearchStats()
+        if stage_stats is not None:
+            core_stats = stage_stats.setdefault("core", SearchStats())
+            forest_stats = stage_stats.setdefault("forest", SearchStats())
+            leaf_stats = stage_stats.setdefault("leaf", SearchStats())
+        else:
+            core_stats = forest_stats = leaf_stats = stats
         mapping = [-1] * query.num_vertices
         used = bytearray(self.data.num_vertices)
-        core_bt = CPIBacktracker(plan.cpi, plan.core_slots, stats)
-        forest_bt = CPIBacktracker(plan.cpi, plan.forest_slots, stats)
+        core_bt = CPIBacktracker(
+            plan.cpi, plan.core_slots, core_stats, deadline=deadline, budget=budget
+        )
+        forest_bt = CPIBacktracker(
+            plan.cpi, plan.forest_slots, forest_stats, deadline=deadline, budget=budget
+        )
         total = 0
         for _ in core_bt.extend(mapping, used):
             for _ in forest_bt.extend(mapping, used):
                 cap = None if limit is None else limit - total
                 total += count_leaf_matches(
-                    plan.cpi, plan.leaf_plan, mapping, used, cap=cap
+                    plan.cpi, plan.leaf_plan, mapping, used, cap=cap,
+                    stats=leaf_stats, budget=budget,
                 )
                 if limit is not None and total >= limit:
+                    stats.embeddings += limit
                     return limit
+        stats.embeddings += total
         return total
 
     def run(
@@ -443,37 +583,83 @@ class CFLMatch:
         limit: Optional[int] = None,
         collect: bool = False,
         deadline: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        count_only: bool = False,
+        prepared: Optional[PreparedQuery] = None,
     ) -> MatchReport:
         """Prepare + enumerate with timing, the benchmark entry point.
 
         ``deadline`` is an absolute ``time.perf_counter()`` timestamp; the
-        run stops (``timed_out=True``) when enumeration crosses it.
+        run stops (``timed_out=True``) when enumeration — or CPI
+        construction itself — crosses it.  ``max_expansions`` bounds the
+        partial-match expansions the same way (``budget_exhausted=True``).
+        Truncated runs return normally with partial counters intact.
+        ``count_only`` counts through the NEC-combination path instead of
+        materializing embeddings (``collect`` is then ignored).
         ``run`` always prepares afresh (bypassing the plan cache) so its
-        ``ordering_time`` is an honest measurement.
+        ``ordering_time`` is an honest measurement; ``prepared`` skips
+        that and reuses an existing plan's timers and build counters.
         """
-        prepared = self.prepare(query, use_cache=False)
+        budget = WorkBudget(max_expansions) if max_expansions is not None else None
         stats = SearchStats()
         stage_stats: dict = {}
-        results: Optional[List[Tuple[int, ...]]] = [] if collect else None
+        results: Optional[List[Tuple[int, ...]]] = (
+            [] if collect and not count_only else None
+        )
+        if prepared is None:
+            build_stats = SearchStats()
+            prepare_started = time.perf_counter()
+            try:
+                prepared = self.prepare(
+                    query, use_cache=False, deadline=deadline,
+                    build_stats=build_stats,
+                )
+            except SearchTimeout:
+                # Deadline fired during CPI construction: flag the run and
+                # keep the partial build counters accrued so far.
+                return MatchReport(
+                    embeddings=0,
+                    ordering_time=time.perf_counter() - prepare_started,
+                    enumeration_time=0.0,
+                    cpi_size=0,
+                    candidate_counts=[],
+                    stats=stats,
+                    timed_out=True,
+                    results=results,
+                    stage_nodes={},
+                    phase_times=empty_phase_times(),
+                    build_stats=build_stats,
+                )
         timed_out = False
+        budget_exhausted = False
         started = time.perf_counter()
         found = 0
         try:
-            for embedding in self.search(
-                query, limit=limit, prepared=prepared, stats=stats,
-                deadline=deadline, stage_stats=stage_stats,
-            ):
-                found += 1
-                if collect and results is not None:
-                    results.append(embedding)
-                if deadline is not None and found % 256 == 0:
-                    if time.perf_counter() > deadline:
-                        timed_out = True
-                        break
+            if count_only:
+                found = self.count(
+                    query, limit=limit, prepared=prepared, stats=stats,
+                    stage_stats=stage_stats, deadline=deadline, budget=budget,
+                )
+            else:
+                for embedding in self.search(
+                    query, limit=limit, prepared=prepared, stats=stats,
+                    deadline=deadline, stage_stats=stage_stats, budget=budget,
+                ):
+                    found += 1
+                    if collect and results is not None:
+                        results.append(embedding)
+                    if deadline is not None and found % 256 == 0:
+                        if time.perf_counter() > deadline:
+                            timed_out = True
+                            break
         except SearchTimeout:
             timed_out = True
+        except BudgetExhausted:
+            budget_exhausted = True
         enumeration_time = time.perf_counter() - started
-        stats.nodes = sum(s.nodes for s in stage_stats.values())
+        aggregate_stage_stats(stage_stats, into=stats)
+        phase_times = dict(prepared.phase_times)
+        phase_times["enumeration"] = enumeration_time
         return MatchReport(
             embeddings=found,
             ordering_time=prepared.ordering_time,
@@ -482,8 +668,11 @@ class CFLMatch:
             candidate_counts=prepared.cpi.candidate_counts(),
             stats=stats,
             timed_out=timed_out,
+            budget_exhausted=budget_exhausted,
             results=results,
             stage_nodes={name: s.nodes for name, s in stage_stats.items()},
+            phase_times=phase_times,
+            build_stats=prepared.build_stats,
         )
 
 

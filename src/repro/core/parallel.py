@@ -41,6 +41,7 @@ import multiprocessing
 import os
 import pickle
 import queue as _queue_mod
+import time
 from collections import OrderedDict
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -48,11 +49,13 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from ..graph.graph import Graph
 from .cost_model import estimate_root_costs
 from .cpi_storage import CompiledCPI
-from .matcher import CFLMatch, PreparedQuery
+from .matcher import CFLMatch, MatchReport, PreparedQuery
+from .stats import SearchStats, aggregate_stage_stats
 
 __all__ = [
     "MatcherPool",
     "parallel_count",
+    "parallel_run",
     "parallel_search",
     "parallel_search_iter",
 ]
@@ -200,51 +203,75 @@ def _resolve_pool_plan(key: int, blob: bytes) -> PreparedQuery:
 
 def _count_roots(
     matcher: CFLMatch, plan: PreparedQuery, roots: List[int], budget: Optional[int], cancel
-) -> int:
+) -> Tuple[int, Dict[str, int]]:
     """Count the chunk's partition, honoring budget and cancellation.
 
     Without a budget there is nothing to cancel for, so the whole chunk
     runs in one restriction; with one, restricting per root candidate
     (cheap — see ``CPI.with_root_candidates``) lets the worker notice a
     cluster-wide stop between roots instead of only between chunks.
+
+    Returns ``(count, counters)`` — the chunk's enumeration counters
+    travel back with the result so the parent can aggregate pool totals.
     """
+    stats = SearchStats()
+    stage_stats: dict = {}
     if cancel is not None and cancel.is_set():
-        return 0
+        return 0, stats.to_dict()
     if budget is None:
-        return matcher.count(plan.query, prepared=plan, root_candidates=roots)
-    total = 0
-    for root in roots:
-        if total >= budget or (cancel is not None and cancel.is_set()):
-            break
-        total += matcher.count(
-            plan.query, limit=budget - total, prepared=plan, root_candidates=(root,)
+        total = matcher.count(
+            plan.query, prepared=plan, root_candidates=roots,
+            stats=stats, stage_stats=stage_stats,
         )
-    return total
+    else:
+        total = 0
+        for root in roots:
+            if total >= budget or (cancel is not None and cancel.is_set()):
+                break
+            total += matcher.count(
+                plan.query, limit=budget - total, prepared=plan,
+                root_candidates=(root,), stats=stats, stage_stats=stage_stats,
+            )
+    aggregate_stage_stats(stage_stats, into=stats)
+    return total, stats.to_dict()
 
 
 def _search_roots(
     matcher: CFLMatch, plan: PreparedQuery, roots: List[int], budget: Optional[int], cancel
-) -> List[Tuple[int, ...]]:
-    if cancel is not None and cancel.is_set():
-        return []
-    if budget is None:
-        return list(matcher.search(plan.query, prepared=plan, root_candidates=roots))
+) -> Tuple[List[Tuple[int, ...]], Dict[str, int]]:
+    stats = SearchStats()
+    stage_stats: dict = {}
     results: List[Tuple[int, ...]] = []
-    for root in roots:
-        if len(results) >= budget or (cancel is not None and cancel.is_set()):
-            break
-        results.extend(
+    if cancel is not None and cancel.is_set():
+        return results, stats.to_dict()
+    if budget is None:
+        results = list(
             matcher.search(
-                plan.query,
-                limit=budget - len(results),
-                prepared=plan,
-                root_candidates=(root,),
+                plan.query, prepared=plan, root_candidates=roots,
+                stats=stats, stage_stats=stage_stats,
             )
         )
-    return results
+    else:
+        for root in roots:
+            if len(results) >= budget or (cancel is not None and cancel.is_set()):
+                break
+            results.extend(
+                matcher.search(
+                    plan.query,
+                    limit=budget - len(results),
+                    prepared=plan,
+                    root_candidates=(root,),
+                    stats=stats,
+                    stage_stats=stage_stats,
+                )
+            )
+    aggregate_stage_stats(stage_stats, into=stats)
+    return results, stats.to_dict()
 
 
-def _oneshot_count_task(args: Tuple[List[int], Optional[int]]) -> int:
+def _oneshot_count_task(
+    args: Tuple[List[int], Optional[int]]
+) -> Tuple[int, Dict[str, int]]:
     roots, budget = args
     return _count_roots(
         _WORKER["matcher"], _WORKER["plan"], roots, budget, _WORKER["cancel"]
@@ -253,14 +280,16 @@ def _oneshot_count_task(args: Tuple[List[int], Optional[int]]) -> int:
 
 def _oneshot_search_task(
     args: Tuple[List[int], Optional[int]]
-) -> List[Tuple[int, ...]]:
+) -> Tuple[List[Tuple[int, ...]], Dict[str, int]]:
     roots, budget = args
     return _search_roots(
         _WORKER["matcher"], _WORKER["plan"], roots, budget, _WORKER["cancel"]
     )
 
 
-def _pool_count_task(args: Tuple[int, bytes, List[int], Optional[int]]) -> int:
+def _pool_count_task(
+    args: Tuple[int, bytes, List[int], Optional[int]]
+) -> Tuple[int, Dict[str, int]]:
     key, blob, roots, budget = args
     plan = _resolve_pool_plan(key, blob)
     return _count_roots(_WORKER["matcher"], plan, roots, budget, _WORKER["cancel"])
@@ -268,7 +297,7 @@ def _pool_count_task(args: Tuple[int, bytes, List[int], Optional[int]]) -> int:
 
 def _pool_search_task(
     args: Tuple[int, bytes, List[int], Optional[int]]
-) -> List[Tuple[int, ...]]:
+) -> Tuple[List[Tuple[int, ...]], Dict[str, int]]:
     key, blob, roots, budget = args
     plan = _resolve_pool_plan(key, blob)
     return _search_roots(_WORKER["matcher"], plan, roots, budget, _WORKER["cancel"])
@@ -371,6 +400,25 @@ def _oneshot_pool(
     )
 
 
+def _sequential_count(
+    matcher: CFLMatch,
+    query: Graph,
+    plan: PreparedQuery,
+    limit: Optional[int],
+    stats: Optional[SearchStats],
+) -> int:
+    """Single-process fallback with the same counter discipline as the
+    workers (per-stage split folded through ``aggregate_stage_stats``)."""
+    if stats is None:
+        return matcher.count(query, limit=limit, prepared=plan)
+    stage_stats: dict = {}
+    total = matcher.count(
+        query, limit=limit, prepared=plan, stats=stats, stage_stats=stage_stats
+    )
+    aggregate_stage_stats(stage_stats, into=stats)
+    return total
+
+
 def parallel_count(
     data: Graph,
     query: Graph,
@@ -378,19 +426,24 @@ def parallel_count(
     limit: Optional[int] = None,
     tasks_per_worker: int = 4,
     start_method: Optional[str] = None,
+    stats: Optional[SearchStats] = None,
     **matcher_kwargs,
 ) -> int:
     """Count embeddings of ``query`` in ``data`` across ``workers``
     processes.  Equals ``CFLMatch(data).count(query)`` (without ``limit``;
     with a limit the result saturates at it).  ``prepare()`` runs exactly
-    once, in the parent; workers share the plan (see module docs)."""
+    once, in the parent; workers share the plan (see module docs).
+
+    ``stats`` (when given) accumulates the enumeration counters
+    aggregated across every worker chunk; without a ``limit`` they equal
+    the sequential counters exactly (root-partition invariance)."""
     if limit is not None and limit <= 0:
         return 0
     matcher, plan, roots = _oneshot_setup(data, query, workers, matcher_kwargs)
     if roots is None:
         if plan.cpi.is_empty():
             return 0
-        return matcher.count(query, limit=limit, prepared=plan)
+        return _sequential_count(matcher, query, plan, limit, stats)
     chunks = _cost_weighted_chunks(
         roots, estimate_root_costs(plan.cpi), workers * tasks_per_worker
     )
@@ -402,11 +455,13 @@ def parallel_count(
     ) as pool:
         total = 0
         max_inflight = workers if limit is not None else len(chunks)
-        for part in _dispatch(
+        for part, chunk_stats in _dispatch(
             pool, _oneshot_count_task, lambda c, b: (c, b), chunks,
-            limit, cancel, lambda value: value, max_inflight,
+            limit, cancel, lambda value: value[0], max_inflight,
         ):
             total += part
+            if stats is not None:
+                stats.merge(SearchStats.from_dict(chunk_stats))
     if limit is not None:
         return min(total, limit)
     return total
@@ -419,13 +474,15 @@ def parallel_search_iter(
     limit: Optional[int] = None,
     tasks_per_worker: int = 4,
     start_method: Optional[str] = None,
+    stats: Optional[SearchStats] = None,
     **matcher_kwargs,
 ) -> Iterator[Tuple[int, ...]]:
     """Stream embeddings as worker chunks complete (unordered).
 
     The embedding *set* equals the sequential one; arrival order follows
     chunk completion.  Abandoning the iterator early cancels in-flight
-    workers and tears the pool down.
+    workers and tears the pool down.  ``stats`` accumulates worker
+    counters chunk-by-chunk as their results arrive.
     """
     if limit is not None and limit <= 0:
         return
@@ -433,7 +490,15 @@ def parallel_search_iter(
     if roots is None:
         if plan.cpi.is_empty():
             return
-        yield from matcher.search(query, limit=limit, prepared=plan)
+        if stats is None:
+            yield from matcher.search(query, limit=limit, prepared=plan)
+            return
+        stage_stats: dict = {}
+        yield from matcher.search(
+            query, limit=limit, prepared=plan, stats=stats,
+            stage_stats=stage_stats,
+        )
+        aggregate_stage_stats(stage_stats, into=stats)
         return
     chunks = _cost_weighted_chunks(
         roots, estimate_root_costs(plan.cpi), workers * tasks_per_worker
@@ -447,10 +512,12 @@ def parallel_search_iter(
     try:
         emitted = 0
         max_inflight = workers if limit is not None else len(chunks)
-        for part in _dispatch(
+        for part, chunk_stats in _dispatch(
             pool, _oneshot_search_task, lambda c, b: (c, b), chunks,
-            limit, cancel, len, max_inflight,
+            limit, cancel, lambda value: len(value[0]), max_inflight,
         ):
+            if stats is not None:
+                stats.merge(SearchStats.from_dict(chunk_stats))
             for embedding in part:
                 yield embedding
                 emitted += 1
@@ -469,6 +536,7 @@ def parallel_search(
     limit: Optional[int] = None,
     tasks_per_worker: int = 4,
     start_method: Optional[str] = None,
+    stats: Optional[SearchStats] = None,
     **matcher_kwargs,
 ) -> List[Tuple[int, ...]]:
     """All (or first ``limit``) embeddings, computed in parallel.
@@ -478,8 +546,115 @@ def parallel_search(
         parallel_search_iter(
             data, query, workers=workers, limit=limit,
             tasks_per_worker=tasks_per_worker, start_method=start_method,
-            **matcher_kwargs,
+            stats=stats, **matcher_kwargs,
         )
+    )
+
+
+def parallel_run(
+    data: Graph,
+    query: Graph,
+    workers: int = 2,
+    limit: Optional[int] = None,
+    collect: bool = False,
+    count_only: bool = False,
+    tasks_per_worker: int = 4,
+    start_method: Optional[str] = None,
+    **matcher_kwargs,
+) -> MatchReport:
+    """Parallel analogue of :meth:`CFLMatch.run`: prepare once in the
+    parent (fresh, honestly timed), enumerate across ``workers``, and
+    return a :class:`MatchReport` whose enumeration counters are the
+    aggregate of every worker chunk.
+
+    Build counters and phase timers come from the parent's single
+    ``prepare``; without a ``limit`` the aggregated enumeration counters
+    equal a sequential :meth:`CFLMatch.run`'s exactly (the root-candidate
+    partition is also a partition of the search work).  ``count_only``
+    routes through the NEC-combination counting path; ``collect`` is then
+    ignored.
+    """
+    matcher = CFLMatch(data, **matcher_kwargs)
+    build_stats = SearchStats()
+    plan = matcher.prepare(query, use_cache=False, build_stats=build_stats)
+    stats = SearchStats()
+    results: Optional[List[Tuple[int, ...]]] = (
+        [] if collect and not count_only else None
+    )
+    found = 0
+    started = time.perf_counter()
+    roots: Optional[List[int]] = None
+    if not plan.cpi.is_empty():
+        roots = list(plan.cpi.candidates[plan.root])
+        if workers <= 1 or len(roots) <= 1:
+            roots = None
+    if roots is None:
+        if not plan.cpi.is_empty():
+            stage_stats: dict = {}
+            if count_only:
+                found = matcher.count(
+                    query, limit=limit, prepared=plan, stats=stats,
+                    stage_stats=stage_stats,
+                )
+            else:
+                for embedding in matcher.search(
+                    query, limit=limit, prepared=plan, stats=stats,
+                    stage_stats=stage_stats,
+                ):
+                    found += 1
+                    if results is not None:
+                        results.append(embedding)
+            aggregate_stage_stats(stage_stats, into=stats)
+    else:
+        chunks = _cost_weighted_chunks(
+            roots, estimate_root_costs(plan.cpi), workers * tasks_per_worker
+        )
+        method = start_method or _default_start_method()
+        ctx = multiprocessing.get_context(method)
+        cancel = ctx.Event()
+        task = _oneshot_count_task if count_only else _oneshot_search_task
+        measure = (
+            (lambda value: value[0]) if count_only
+            else (lambda value: len(value[0]))
+        )
+        with _oneshot_pool(
+            ctx, method, workers, matcher, plan, query, matcher_kwargs, cancel
+        ) as pool:
+            max_inflight = workers if limit is not None else len(chunks)
+            for part, chunk_stats in _dispatch(
+                pool, task, lambda c, b: (c, b), chunks,
+                limit, cancel, measure, max_inflight,
+            ):
+                stats.merge(SearchStats.from_dict(chunk_stats))
+                if count_only:
+                    found += part
+                else:
+                    for embedding in part:
+                        if limit is not None and found >= limit:
+                            break
+                        found += 1
+                        if results is not None:
+                            results.append(embedding)
+        if limit is not None:
+            found = min(found, limit)
+    enumeration_time = time.perf_counter() - started
+    phase_times = dict(plan.phase_times)
+    phase_times["enumeration"] = enumeration_time
+    return MatchReport(
+        embeddings=found,
+        ordering_time=plan.ordering_time,
+        enumeration_time=enumeration_time,
+        cpi_size=plan.cpi.size(),
+        candidate_counts=plan.cpi.candidate_counts(),
+        stats=stats,
+        results=results,
+        stage_nodes={
+            "core": stats.core_expansions,
+            "forest": stats.forest_expansions,
+            "leaf": stats.leaf_expansions,
+        },
+        phase_times=phase_times,
+        build_stats=build_stats,
     )
 
 
@@ -533,6 +708,9 @@ class MatcherPool:
         # plan epoch bookkeeping: signature -> (key, pickled wire blob)
         self._plan_blobs: "OrderedDict[tuple, Tuple[int, bytes]]" = OrderedDict()
         self._next_key = 0
+        #: enumeration counters aggregated over every query this pool has
+        #: served (worker chunks and sequential fallbacks alike)
+        self.total_stats = SearchStats()
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "MatcherPool":
@@ -592,30 +770,58 @@ class MatcherPool:
         )
         return plan, chunks
 
+    def _absorb(
+        self, chunk_stats: Dict[str, int], stats: Optional[SearchStats]
+    ) -> None:
+        decoded = SearchStats.from_dict(chunk_stats)
+        self.total_stats.merge(decoded)
+        if stats is not None:
+            stats.merge(decoded)
+
     # -- query API -----------------------------------------------------
-    def count(self, query: Graph, limit: Optional[int] = None) -> int:
-        """Parallel :meth:`CFLMatch.count` through the persistent pool."""
+    def count(
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        stats: Optional[SearchStats] = None,
+    ) -> int:
+        """Parallel :meth:`CFLMatch.count` through the persistent pool.
+
+        ``stats`` accumulates this call's worker-aggregated enumeration
+        counters; :attr:`total_stats` always accumulates them."""
         if limit is not None and limit <= 0:
             return 0
         plan, chunks = self._start_query(query)
         if chunks is None:
             if plan.cpi.is_empty():
                 return 0
-            return self.matcher.count(query, limit=limit, prepared=plan)
+            local = SearchStats()
+            stage_stats: dict = {}
+            total = self.matcher.count(
+                query, limit=limit, prepared=plan, stats=local,
+                stage_stats=stage_stats,
+            )
+            aggregate_stage_stats(stage_stats, into=local)
+            self._absorb(local.to_dict(), stats)
+            return total
         key, blob = self._plan_blob(query, plan)
         total = 0
         max_inflight = self.workers if limit is not None else len(chunks)
-        for part in _dispatch(
+        for part, chunk_stats in _dispatch(
             self._pool, _pool_count_task, lambda c, b: (key, blob, c, b),
-            chunks, limit, self._cancel, lambda value: value, max_inflight,
+            chunks, limit, self._cancel, lambda value: value[0], max_inflight,
         ):
             total += part
+            self._absorb(chunk_stats, stats)
         if limit is not None:
             return min(total, limit)
         return total
 
     def search_iter(
-        self, query: Graph, limit: Optional[int] = None
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        stats: Optional[SearchStats] = None,
     ) -> Iterator[Tuple[int, ...]]:
         """Stream embeddings (unordered) through the persistent pool."""
         if limit is not None and limit <= 0:
@@ -624,16 +830,25 @@ class MatcherPool:
         if chunks is None:
             if plan.cpi.is_empty():
                 return
-            yield from self.matcher.search(query, limit=limit, prepared=plan)
+            local = SearchStats()
+            stage_stats: dict = {}
+            yield from self.matcher.search(
+                query, limit=limit, prepared=plan, stats=local,
+                stage_stats=stage_stats,
+            )
+            aggregate_stage_stats(stage_stats, into=local)
+            self._absorb(local.to_dict(), stats)
             return
         key, blob = self._plan_blob(query, plan)
         emitted = 0
         max_inflight = self.workers if limit is not None else len(chunks)
         try:
-            for part in _dispatch(
+            for part, chunk_stats in _dispatch(
                 self._pool, _pool_search_task, lambda c, b: (key, blob, c, b),
-                chunks, limit, self._cancel, len, max_inflight,
+                chunks, limit, self._cancel, lambda value: len(value[0]),
+                max_inflight,
             ):
+                self._absorb(chunk_stats, stats)
                 for embedding in part:
                     yield embedding
                     emitted += 1
@@ -645,7 +860,10 @@ class MatcherPool:
             self._cancel.set()
 
     def search(
-        self, query: Graph, limit: Optional[int] = None
+        self,
+        query: Graph,
+        limit: Optional[int] = None,
+        stats: Optional[SearchStats] = None,
     ) -> List[Tuple[int, ...]]:
         """All (or first ``limit``) embeddings via :meth:`search_iter`."""
-        return list(self.search_iter(query, limit=limit))
+        return list(self.search_iter(query, limit=limit, stats=stats))

@@ -11,6 +11,21 @@ embedding set is *provable*, then checks the matcher honors it:
 ``filter-ablation``       every CFL-Match configuration agrees
 ========================  ============================================
 
+Two further relations extend the oracle from *embeddings* to *search
+counters* (the observability layer of :mod:`repro.core.stats`):
+
+==============================  ========================================
+``stats-vertex-permutation``    permuting data vertex ids leaves every
+                                counter identical (exhaustive runs
+                                explore an isomorphic search tree)
+``stats-filter-ablation``       weakening the CPI (top-down only, or
+                                naive) while pinning the full plan's
+                                root and matching order never *decreases*
+                                partial-match expansions: filters are
+                                pruning-only, so less filtering means a
+                                superset search tree
+==============================  ========================================
+
 Relations return ``None`` on success or a human-readable failure detail,
 and skip (return ``None``) on inputs outside their precondition (e.g. a
 disconnected query for ``disjoint-union``).
@@ -182,12 +197,91 @@ def relation_filter_ablation(data, query, matcher_name, rng) -> Optional[str]:
     return None
 
 
+def relation_stats_vertex_permutation(data, query, matcher_name, rng) -> Optional[str]:
+    """Permuting data vertex ids leaves every search counter identical.
+
+    An exhaustive run (no limit) explores the whole search tree, and a
+    vertex permutation maps that tree isomorphically — candidate sets,
+    prune events, expansions, backtracks and conflicts all correspond
+    one-to-one.  Matcher-independent: always exercises CFL-Match, whose
+    counters are the ones under test.
+    """
+    if not query.is_connected():
+        return None
+    permutation = list(range(data.num_vertices))
+    rng.shuffle(permutation)
+    base = CFLMatch(data).run(query, limit=None)
+    permuted = CFLMatch(permute_vertices(data, permutation)).run(query, limit=None)
+    base_counters = base.counters()
+    permuted_counters = permuted.counters()
+    if base_counters != permuted_counters:
+        diffs = {
+            name: (base_counters[name], permuted_counters[name])
+            for name in base_counters
+            if base_counters[name] != permuted_counters[name]
+        }
+        return f"vertex permutation changed search counters: {diffs}"
+    if base.embeddings != permuted.embeddings:
+        return (
+            f"vertex permutation changed the embedding count "
+            f"({base.embeddings} vs {permuted.embeddings})"
+        )
+    return None
+
+
+#: CPI ablations for the stats relation: each builds strictly weaker
+#: candidate sets than the full (refined) CPI.
+_STATS_ABLATIONS = (("cfl/td", {"cpi_mode": "td"}), ("cfl/naive", {"cpi_mode": "naive"}))
+
+
+def relation_stats_filter_ablation(data, query, matcher_name, rng) -> Optional[str]:
+    """Weakening the CPI never decreases partial-match expansions.
+
+    The refined CPI's candidate sets and adjacency are subsets of the
+    top-down-only and naive CPIs' (refinement is pruning-only), so with
+    the *same* BFS root and matching order pinned via
+    :meth:`CFLMatch.prepare_from_cpi`, every node the full configuration
+    expands exists in the ablated search tree too.
+    """
+    if not query.is_connected():
+        return None
+    full = CFLMatch(data)
+    full_plan = full.prepare(query, use_cache=False)
+    full_report = full.run(query, limit=None, count_only=True, prepared=full_plan)
+    for tag, kwargs in _STATS_ABLATIONS:
+        ablated = CFLMatch(data, **kwargs)
+        ablated_plan = ablated.prepare(query, use_cache=False)
+        if ablated_plan.root != full_plan.root:
+            continue  # different BFS root: search trees not comparable
+        pinned = ablated.prepare_from_cpi(
+            query,
+            ablated_plan.cpi,
+            core_order=full_plan.core_order,
+            forest_order=full_plan.forest_order,
+        )
+        report = ablated.run(query, limit=None, count_only=True, prepared=pinned)
+        if report.embeddings != full_report.embeddings:
+            return (
+                f"ablation {tag} changed the embedding count "
+                f"({full_report.embeddings} vs {report.embeddings})"
+            )
+        if report.stats.expansions < full_report.stats.expansions:
+            return (
+                f"ablation {tag} decreased expansions "
+                f"({full_report.stats.expansions} -> {report.stats.expansions}) "
+                f"despite weaker filtering"
+            )
+    return None
+
+
 METAMORPHIC_RELATIONS: Dict[str, Relation] = {
     "vertex-permutation": relation_vertex_permutation,
     "label-renaming": relation_label_renaming,
     "disjoint-union": relation_disjoint_union,
     "edge-monotonicity": relation_edge_monotonicity,
     "filter-ablation": relation_filter_ablation,
+    "stats-vertex-permutation": relation_stats_vertex_permutation,
+    "stats-filter-ablation": relation_stats_filter_ablation,
 }
 
 

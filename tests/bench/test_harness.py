@@ -61,6 +61,29 @@ class TestRunQuerySet:
         assert empty.avg_total_ms == INF
         assert empty.avg_embeddings == 0.0
 
+    def test_counter_totals_sum_across_queries(self, simple_workload):
+        data, queries = simple_workload
+        result = run_query_set(
+            make_matcher("CFL-Match", data), queries, None, 30.0, "q5S"
+        )
+        totals = result.counter_totals()
+        per_query = [r.counters() for r in result.reports]
+        assert totals["nodes"] == sum(c["nodes"] for c in per_query) > 0
+        assert totals["cpi_candidates_final"] == sum(
+            c["cpi_candidates_final"] for c in per_query
+        )
+
+    def test_counter_totals_safe_for_baselines(self, simple_workload):
+        """Baseline matchers only record embeddings; the CPI/search
+        counters stay zero rather than erroring."""
+        data, queries = simple_workload
+        result = run_query_set(
+            make_matcher("VF2", data), queries, None, 30.0, "q5S"
+        )
+        totals = result.counter_totals()
+        assert totals["embeddings"] == sum(r.embeddings for r in result.reports)
+        assert all(v == 0 for k, v in totals.items() if k != "embeddings")
+
 
 class TestRunAlgorithms:
     def test_cross_product(self, simple_workload):

@@ -1,0 +1,139 @@
+"""Stats-invariant suite: the observability counters obey the paper's
+accounting identities.
+
+Exact counters are asserted on the hand-checkable paper examples:
+
+* Figure 3 (exactly three embeddings): matching the core cycle
+  (u1, u2, u4, u3) materializes 5 partial matches, the single leaf u5
+  adds one leaf expansion per embedding, and 3 dead ends backtrack.
+* Figure 1 at reduced scale: after bottom-up refinement exactly one
+  candidate survives for u5, so the core triangle (u1, u2, u5) costs 3
+  expansions; each of the ``paths`` branch instances then costs one
+  forest expansion (u3) and two leaf expansions (u4 and u6).
+
+Fuzz cases check the structural identities every run must satisfy —
+filter prunes sum to the candidates removed at each CPI stage,
+expansions bound embeddings, stage expansions partition total nodes —
+and the acceptance criterion that worker-aggregated counters reproduce
+the sequential run exactly at ``workers=4``.
+"""
+
+import pytest
+
+from repro.core import CFLMatch
+from repro.core.parallel import parallel_run
+from repro.core.stats import SearchStats
+from repro.testing.workloads import (
+    CONNECTED_QUERY_SCENARIOS,
+    WorkloadSpec,
+    generate_case,
+)
+from repro.workloads.paper_graphs import figure1_example, figure3_example
+
+FUZZ_SPEC = WorkloadSpec(
+    scenarios=CONNECTED_QUERY_SCENARIOS,
+    data_vertices=(30, 80),
+    query_vertices=(4, 7),
+)
+
+
+def fuzz_cases(count, seed=20160626):
+    return [generate_case(seed, index, FUZZ_SPEC) for index in range(count)]
+
+
+class TestExactPaperCounters:
+    def test_figure3_counters(self):
+        ex = figure3_example()
+        report = CFLMatch(ex.data).run(ex.query, limit=None)
+        assert report.embeddings == 3
+        s = report.stats
+        assert (s.core_expansions, s.forest_expansions, s.leaf_expansions) == (5, 0, 3)
+        assert s.nodes == 8
+        assert s.backtracks == 3
+        b = report.build_stats
+        assert b.cpi_candidates_final == 7
+        assert b.cpi_edges_final == 7
+        assert report.cpi_size == b.cpi_candidates_final + b.cpi_edges_final
+
+    @pytest.mark.parametrize("paths,fan", [(20, 100), (7, 30)])
+    def test_figure1_counters_scale_with_branch_count(self, paths, fan):
+        ex = figure1_example(paths, fan)
+        report = CFLMatch(ex.data).run(ex.query, limit=None)
+        s = report.stats
+        assert report.embeddings == paths
+        assert s.core_expansions == 3
+        assert s.forest_expansions == paths
+        assert s.leaf_expansions == 2 * paths
+        assert s.nodes == 3 * paths + 3
+        assert s.backtracks == 2
+
+    def test_counters_round_trip_and_cover_ten_plus(self):
+        ex = figure3_example()
+        report = CFLMatch(ex.data).run(ex.query, limit=None)
+        counters = report.counters()
+        assert len(counters) >= 10
+        assert SearchStats.from_dict(counters).to_dict() == counters
+
+
+class TestCounterIdentities:
+    """Structural identities on fuzz workloads (no hand computation)."""
+
+    def test_prunes_sum_to_candidates_removed(self):
+        for case in fuzz_cases(8):
+            report = CFLMatch(case.data).run(case.query, limit=None)
+            b = report.build_stats
+            removed_top_down = (
+                b.filter_mnd_pruned
+                + b.filter_nlf_pruned
+                + b.filter_other_pruned
+                + b.filter_snte_pruned
+            )
+            assert b.cpi_candidates_structural - removed_top_down == (
+                b.cpi_candidates_topdown
+            )
+            assert b.cpi_candidates_topdown - b.refine_candidates_pruned == (
+                b.cpi_candidates_final
+            )
+            assert report.cpi_size == b.cpi_candidates_final + b.cpi_edges_final
+
+    def test_expansions_bound_embeddings(self):
+        """Enumerating every embedding visits at least one node per
+        embedding (count mode is exempt: NEC combination counting
+        deliberately skips the permutations it multiplies out)."""
+        for case in fuzz_cases(8):
+            report = CFLMatch(case.data).run(case.query, limit=None)
+            assert report.stats.expansions >= report.embeddings
+
+    def test_stage_expansions_partition_nodes(self):
+        for case in fuzz_cases(8):
+            report = CFLMatch(case.data).run(case.query, limit=None)
+            s = report.stats
+            assert s.nodes == (
+                s.core_expansions + s.forest_expansions + s.leaf_expansions
+            )
+            assert report.stage_nodes.get("core", 0) == s.core_expansions
+            assert report.stage_nodes.get("forest", 0) == s.forest_expansions
+            assert report.stage_nodes.get("leaf", 0) == s.leaf_expansions
+
+
+class TestWorkerAggregationMatchesSequential:
+    """Acceptance criterion: sequential counters equal the aggregate of
+    per-worker counters at ``--workers 4`` on fuzz workloads."""
+
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_enumerate_mode(self, index):
+        case = generate_case(7, index, FUZZ_SPEC)
+        sequential = CFLMatch(case.data).run(case.query, limit=None)
+        aggregated = parallel_run(case.data, case.query, workers=4, limit=None)
+        assert aggregated.embeddings == sequential.embeddings
+        assert aggregated.counters() == sequential.counters()
+        assert aggregated.stage_nodes == sequential.stage_nodes
+
+    def test_count_mode(self):
+        case = generate_case(7, 3, FUZZ_SPEC)
+        sequential = CFLMatch(case.data).run(case.query, limit=None, count_only=True)
+        aggregated = parallel_run(
+            case.data, case.query, workers=4, limit=None, count_only=True
+        )
+        assert aggregated.embeddings == sequential.embeddings
+        assert aggregated.counters() == sequential.counters()

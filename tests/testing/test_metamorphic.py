@@ -1,5 +1,5 @@
-"""Each of the five metamorphic relations: positive coverage on correct
-matchers plus detection of an injected bug."""
+"""Each metamorphic relation: positive coverage on correct matchers
+plus detection of an injected bug."""
 
 import random
 
@@ -16,6 +16,8 @@ from repro.testing.metamorphic import (
     relation_edge_monotonicity,
     relation_filter_ablation,
     relation_label_renaming,
+    relation_stats_filter_ablation,
+    relation_stats_vertex_permutation,
     relation_vertex_permutation,
     rename_labels,
 )
@@ -89,6 +91,20 @@ class TestRelationsHoldOnCorrectMatchers:
                 case.data, case.query, "CFL-Match", rng
             ) is None
 
+    def test_stats_vertex_permutation_invariance(self):
+        rng = random.Random(6)
+        for case in connected_cases(5):
+            assert relation_stats_vertex_permutation(
+                case.data, case.query, "CFL-Match", rng
+            ) is None
+
+    def test_stats_filter_ablation_monotonicity(self):
+        rng = random.Random(7)
+        for case in connected_cases(5):
+            assert relation_stats_filter_ablation(
+                case.data, case.query, "CFL-Match", rng
+            ) is None
+
 
 class TestDetection:
     def test_monotonicity_catches_embedding_loss(self):
@@ -139,6 +155,27 @@ class TestDetection:
             del MATCHERS["DropVertexZero"]
         assert detected
 
+    def test_stats_permutation_catches_id_dependent_counters(self, monkeypatch):
+        """A matcher whose counters depend on data vertex ids (here: the
+        label sitting at id 0, which a permutation moves) is caught."""
+        import repro.testing.metamorphic as metamorphic
+
+        class IdSkewedCounters(CFLMatch):
+            def run(self, query, **kwargs):
+                report = super().run(query, **kwargs)
+                report.stats.backtracks += self.data.label(0)
+                return report
+
+        monkeypatch.setattr(metamorphic, "CFLMatch", IdSkewedCounters)
+        data = Graph([1, 2, 3], [(0, 1), (1, 2)])
+        query = Graph([1, 2], [(0, 1)])
+        detected = any(
+            relation_stats_vertex_permutation(data, query, "CFL-Match", random.Random(seed))
+            is not None
+            for seed in range(8)
+        )
+        assert detected
+
 
 class TestMetamorphicCheck:
     def test_all_relations_clean_on_current_code(self):
@@ -159,11 +196,13 @@ class TestMetamorphicCheck:
                 data, data, "CFL-Match", random.Random(0), relations=["bogus"]
             )
 
-    def test_registry_has_all_five(self):
+    def test_registry_has_all_relations(self):
         assert sorted(METAMORPHIC_RELATIONS) == [
             "disjoint-union",
             "edge-monotonicity",
             "filter-ablation",
             "label-renaming",
+            "stats-filter-ablation",
+            "stats-vertex-permutation",
             "vertex-permutation",
         ]
