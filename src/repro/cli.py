@@ -193,6 +193,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .lint import all_rules, find_root, lint_paths
+    from .lint.reporting import format_rule_list
+
+    if args.list_rules:
+        print(format_rule_list(all_rules()))
+        return 0
+    root = Path(args.root) if args.root else find_root(Path.cwd())
+    paths = [Path(p) for p in args.paths] or [root / "src"]
+    try:
+        report = lint_paths(paths, root=root, select=args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(report.to_dict(), indent=2) + "\n"
+            )
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':<10} {'scale':<7} {'|V|':>8} {'avg deg':>8} {'|Sigma|':>8}")
     for name in sorted(DATASETS):
@@ -336,6 +363,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_gen.add_argument("--out", required=True, help="workload directory")
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST-based invariant checks (repro-lint)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to lint (default: <root>/src)",
+    )
+    p_lint.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the JSON report to PATH ('-' for stdout)",
+    )
+    p_lint.add_argument(
+        "--select", nargs="+", default=None, metavar="RULE",
+        help="run only these rule ids (e.g. R001 R005)",
+    )
+    p_lint.add_argument(
+        "--root", default=None,
+        help="repo root for path scoping and the counter/schema cross-check "
+             "(default: nearest ancestor with pyproject.toml)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_ds = sub.add_parser("datasets", help="list dataset proxies and their scales")
     p_ds.set_defaults(func=_cmd_datasets)

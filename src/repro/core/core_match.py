@@ -15,13 +15,12 @@ generators without materializing intermediate result sets.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from ..graph.graph import Graph
 from .cpi import CPI
-from .stats import BudgetExhausted, SearchStats, WorkBudget
+from .stats import BudgetExhausted, SearchStats, WorkBudget, monotonic_now
 
 __all__ = [
     "BudgetExhausted",
@@ -163,7 +162,7 @@ class CPIBacktracker:
                 if (
                     self.deadline is not None
                     and (stats.nodes & 1023) == 0
-                    and time.perf_counter() > self.deadline
+                    and monotonic_now() > self.deadline
                 ):
                     raise SearchTimeout
                 mapping[u] = v

@@ -126,7 +126,7 @@ class CPI:
         data: Graph,
         candidates: List[List[int]],
         adjacency: List[Dict[int, List[int]]],
-    ):
+    ) -> None:
         self.tree = tree
         self.data = data
         self.candidates = candidates                 # candidates[u] = sorted u.C

@@ -28,20 +28,19 @@ finishing an arbitrarily expensive build.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional
 
 from ..graph.graph import Graph
 from .core_match import SearchTimeout
 from .cpi import CPI, QueryBFSTree
 from .filters import cand_verify, make_counting_verify
-from .stats import SearchStats
+from .stats import SearchStats, monotonic_now
 
 VerifyFn = Callable[[Graph, Graph, int, int], bool]
 
 
 def _check_deadline(deadline: Optional[float]) -> None:
-    if deadline is not None and time.perf_counter() > deadline:
+    if deadline is not None and monotonic_now() > deadline:
         raise SearchTimeout
 
 

@@ -41,7 +41,6 @@ import multiprocessing
 import os
 import pickle
 import queue as _queue_mod
-import time
 from collections import OrderedDict
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -50,7 +49,7 @@ from ..graph.graph import Graph
 from .cost_model import estimate_root_costs
 from .cpi_storage import CompiledCPI
 from .matcher import CFLMatch, MatchReport, PreparedQuery
-from .stats import SearchStats, aggregate_stage_stats
+from .stats import SearchStats, aggregate_stage_stats, monotonic_now
 
 __all__ = [
     "MatcherPool",
@@ -582,7 +581,7 @@ def parallel_run(
         [] if collect and not count_only else None
     )
     found = 0
-    started = time.perf_counter()
+    started = monotonic_now()
     roots: Optional[List[int]] = None
     if not plan.cpi.is_empty():
         roots = list(plan.cpi.candidates[plan.root])
@@ -637,7 +636,7 @@ def parallel_run(
                             results.append(embedding)
         if limit is not None:
             found = min(found, limit)
-    enumeration_time = time.perf_counter() - started
+    enumeration_time = monotonic_now() - started
     phase_times = dict(plan.phase_times)
     phase_times["enumeration"] = enumeration_time
     return MatchReport(

@@ -18,15 +18,14 @@ third-party package.
 
 from __future__ import annotations
 
-import time
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..graph.graph import Graph
 from .core_match import SearchTimeout
 from .explain import stage_breadth
 from .matcher import CFLMatch, MatchReport, PreparedQuery
 from .parallel import parallel_run
-from .stats import SearchStats, cpi_level_totals, empty_phase_times
+from .stats import SearchStats, cpi_level_totals, empty_phase_times, monotonic_now
 
 PROFILE_SCHEMA_VERSION = 1
 
@@ -182,7 +181,7 @@ PROFILE_SCHEMA: Dict[str, Any] = {
 # ----------------------------------------------------------------------
 # Mini JSON-Schema validation (no third-party dependency)
 # ----------------------------------------------------------------------
-_TYPE_CHECKS = {
+_TYPE_CHECKS: Dict[str, Callable[[Any], bool]] = {
     "object": lambda v: isinstance(v, dict),
     "array": lambda v: isinstance(v, list),
     "string": lambda v: isinstance(v, str),
@@ -319,7 +318,7 @@ def profile_query(
     max_expansions: Optional[int] = None,
     time_limit_s: Optional[float] = None,
     count_only: bool = True,
-    **matcher_kwargs,
+    **matcher_kwargs: Any,
 ) -> Dict[str, Any]:
     """Run ``query`` against ``data`` and return its full profile dict.
 
@@ -347,12 +346,12 @@ def profile_query(
         plan: Optional[PreparedQuery] = matcher.prepare(query)
     else:
         deadline = (
-            time.perf_counter() + time_limit_s
+            monotonic_now() + time_limit_s
             if time_limit_s is not None
             else None
         )
         build_stats = SearchStats()
-        prepare_started = time.perf_counter()
+        prepare_started = monotonic_now()
         try:
             plan = matcher.prepare(
                 query, use_cache=False, deadline=deadline,
@@ -362,7 +361,7 @@ def profile_query(
             plan = None
             report = MatchReport(
                 embeddings=0,
-                ordering_time=time.perf_counter() - prepare_started,
+                ordering_time=monotonic_now() - prepare_started,
                 enumeration_time=0.0,
                 cpi_size=0,
                 candidate_counts=[],

@@ -29,8 +29,24 @@ stats (a charge is made **before** the matching expansion is counted, so
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .cpi import CPI
+
+
+def monotonic_now() -> float:
+    """The one clock every core module reads: monotonic seconds.
+
+    Deadlines, phase timers and build timings all go through this seam so
+    profile durations reconcile against a single clock and tests can stub
+    timing in exactly one place.  Only this module and the report
+    assembly in ``matcher.py`` may call :mod:`time` directly
+    (enforced by repro-lint rule R005).
+    """
+    return time.perf_counter()
 
 
 class BudgetExhausted(Exception):
@@ -53,7 +69,7 @@ class WorkBudget:
 
     __slots__ = ("max_expansions", "remaining")
 
-    def __init__(self, max_expansions: int):
+    def __init__(self, max_expansions: int) -> None:
         if max_expansions < 0:
             raise ValueError("max_expansions must be >= 0")
         self.max_expansions = max_expansions
@@ -235,7 +251,7 @@ def merge_phase_times(
     return into
 
 
-def cpi_level_totals(cpi) -> Dict[str, List[int]]:
+def cpi_level_totals(cpi: "CPI") -> Dict[str, List[int]]:
     """Per-BFS-level CPI totals: candidate entries and adjacency edges.
 
     The per-level view of Figure 16(d)'s index size — how much of the

@@ -18,8 +18,6 @@ from .edge_labeled import (
     subdivide,
     validate_edge_labeled_embedding,
 )
-from .graph import Graph, GraphError, graph_from_edge_list
-from .kcore import core_numbers, k_core_vertices, two_core_vertices
 from .generators import (
     power_law_labels,
     random_connected_graph,
@@ -28,6 +26,7 @@ from .generators import (
     relabel,
     synthetic_graph,
 )
+from .graph import Graph, GraphError, graph_from_edge_list
 from .io import (
     LabelMap,
     dumps_edge_list,
@@ -37,6 +36,7 @@ from .io import (
     loads_graph,
     save_graph,
 )
+from .kcore import core_numbers, k_core_vertices, two_core_vertices
 
 __all__ = [
     "has_saturating_matching",

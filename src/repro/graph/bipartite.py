@@ -9,7 +9,7 @@ pseudo-isomorphism refinement: query vertex ``u`` keeps data candidate
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 INFINITY = float("inf")
 
@@ -28,7 +28,7 @@ def maximum_bipartite_matching(
     distance: List[float] = [0.0] * num_left
 
     def bfs() -> bool:
-        queue = deque()
+        queue: Deque[int] = deque()
         for u in range(num_left):
             if match_left[u] is None:
                 distance[u] = 0.0
@@ -81,7 +81,7 @@ def has_saturating_matching(
 def semiperfect_matching_exists(
     left_items: Sequence[int],
     right_items: Sequence[int],
-    compatible,
+    compatible: Callable[[int, int], bool],
 ) -> bool:
     """Convenience wrapper over arbitrary item sequences.
 

@@ -14,7 +14,7 @@ allowed (each arc gets its own gadget).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .graph import Graph, GraphError
 
@@ -26,9 +26,9 @@ class DiGraph:
     vertex_labels: Tuple[int, ...]
     arcs: Tuple[Tuple[int, int, int], ...]  # (source, target, arc_label)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         n = len(self.vertex_labels)
-        seen = set()
+        seen: Set[Tuple[int, int]] = set()
         for u, v, _lab in self.arcs:
             if not (0 <= u < n and 0 <= v < n):
                 raise GraphError(f"arc ({u}, {v}) out of range")
@@ -89,7 +89,7 @@ def reduce_directed_pair(query: DiGraph, data: DiGraph) -> Tuple[DirectedReducti
 def match_directed(
     query: DiGraph,
     data: DiGraph,
-    matcher_factory=None,
+    matcher_factory: Optional[Callable[[Graph], Any]] = None,
     limit: Optional[int] = None,
 ) -> Iterator[Tuple[int, ...]]:
     """All direction- and label-preserving embeddings of ``query``."""

@@ -21,7 +21,7 @@ instance and projects the embeddings back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .graph import Graph, GraphError
 
@@ -33,9 +33,9 @@ class EdgeLabeledGraph:
     vertex_labels: Tuple[int, ...]
     edges: Tuple[Tuple[int, int, int], ...]  # (u, v, edge_label)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         n = len(self.vertex_labels)
-        seen = set()
+        seen: Set[Tuple[int, int]] = set()
         for u, v, _lab in self.edges:
             if not (0 <= u < n and 0 <= v < n):
                 raise GraphError(f"edge ({u}, {v}) out of range")
@@ -103,7 +103,7 @@ def reduce_pair(
 def match_edge_labeled(
     query: EdgeLabeledGraph,
     data: EdgeLabeledGraph,
-    matcher_factory=None,
+    matcher_factory: Optional[Callable[[Graph], Any]] = None,
     limit: Optional[int] = None,
 ) -> Iterator[Tuple[int, ...]]:
     """All edge-label-preserving embeddings of ``query`` in ``data``.

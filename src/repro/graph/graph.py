@@ -10,7 +10,12 @@ and Maximum Neighbor Degree (MND) used by the CandVerify filter
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: lazy CSR cache: (indptr, indices, labels, degrees) numpy arrays
+CSRArrays = Tuple[Any, Any, Any, Any]
+#: exact structural key: (labels, sorted edge list)
+Signature = Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]
 
 
 class GraphError(ValueError):
@@ -42,11 +47,11 @@ class Graph:
         "_signature",
     )
 
-    def __init__(self, labels: Sequence[int], edges: Iterable[Tuple[int, int]]):
+    def __init__(self, labels: Sequence[int], edges: Iterable[Tuple[int, int]]) -> None:
         self.labels: List[int] = list(labels)
         n = len(self.labels)
         adj: List[List[int]] = [[] for _ in range(n)]
-        adj_sets: List[set] = [set() for _ in range(n)]
+        adj_sets: List[Set[int]] = [set() for _ in range(n)]
         num_edges = 0
         for u, v in edges:
             if not (0 <= u < n and 0 <= v < n):
@@ -63,13 +68,13 @@ class Graph:
         for lst in adj:
             lst.sort()
         self.adj: List[List[int]] = adj
-        self._adj_sets = adj_sets
+        self._adj_sets: List[Set[int]] = adj_sets
         self._num_edges = num_edges
         self._label_index: Optional[Dict[int, List[int]]] = None
         self._nlf: Optional[List[Dict[int, int]]] = None
         self._mnd: Optional[List[int]] = None
-        self._csr = None  # lazy (indptr, indices, labels, degrees) arrays
-        self._signature = None  # lazy structural key, see signature()
+        self._csr: Optional[CSRArrays] = None
+        self._signature: Optional[Signature] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -96,7 +101,7 @@ class Graph:
         """Sorted neighbor list ``N(v)``."""
         return self.adj[v]
 
-    def neighbor_set(self, v: int) -> set:
+    def neighbor_set(self, v: int) -> Set[int]:
         """Neighbor set of ``v`` for O(1) membership tests."""
         return self._adj_sets[v]
 
@@ -115,7 +120,7 @@ class Graph:
                 if u < v:
                     yield (u, v)
 
-    def signature(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+    def signature(self) -> Signature:
         """Exact structural key ``(labels, sorted edges)``, computed once.
 
         Two graphs with equal signatures are the *same* labeled graph
@@ -180,7 +185,7 @@ class Graph:
             self._mnd = [max((len(adj[w]) for w in nbrs), default=0) for nbrs in adj]
         return self._mnd[v]
 
-    def csr(self):
+    def csr(self) -> CSRArrays:
         """CSR-style numpy views: ``(indptr, indices, labels, degrees)``.
 
         ``indices[indptr[v]:indptr[v+1]]`` are v's neighbors.  Built once
@@ -270,7 +275,7 @@ class Graph:
         1-based BFS level (0 for unreachable), matching Section 5.1.
         """
         n = len(self.labels)
-        parent: List[Optional[int]] = [-1] * n  # type: ignore[list-item]
+        parent: List[Optional[int]] = [-1] * n
         level = [0] * n
         parent[root] = None
         level[root] = 1

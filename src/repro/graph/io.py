@@ -167,7 +167,7 @@ def loads_edge_list(text: str) -> Graph:
     if not lines:
         raise GraphError("empty edge-list document")
     labels = [_parse_int(tok, 1, "label") for tok in lines[0].split()]
-    edges = []
+    edges: List[Tuple[int, int]] = []
     for line_no, raw in enumerate(lines[1:], start=2):
         parts = raw.split()
         if len(parts) < 2:

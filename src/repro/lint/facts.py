@@ -1,0 +1,95 @@
+"""Cross-file project facts the rules validate against.
+
+The counter-discipline rule (R001) is a *cross-artifact* check: a counter
+bumped anywhere in ``src/repro/`` must exist both as a declared
+:class:`~repro.core.stats.SearchStats` dataclass field and as a required
+counter in ``docs/profile.schema.json``.  Rather than importing the live
+modules (which would make the linter depend on the code it lints),
+:class:`ProjectFacts` parses both artifacts statically — the dataclass via
+:mod:`ast`, the schema via :mod:`json` — so the gate works on any tree
+state, including ones that do not import.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import FrozenSet, Optional
+
+#: repo-root-relative location of the SearchStats declaration
+STATS_RELPATH = "src/repro/core/stats.py"
+#: repo-root-relative location of the profile schema
+SCHEMA_RELPATH = "docs/profile.schema.json"
+
+
+class FactError(ValueError):
+    """Raised when a fact source exists but cannot be interpreted."""
+
+
+def parse_stats_fields(source: str, class_name: str = "SearchStats") -> FrozenSet[str]:
+    """Field names declared on the ``SearchStats`` dataclass.
+
+    Only annotated class-level assignments count (``nodes: int = 0``);
+    properties and methods are not counters.
+    """
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = {
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            }
+            return frozenset(fields)
+    raise FactError(f"class {class_name!r} not found in stats source")
+
+
+def parse_schema_counters(text: str) -> FrozenSet[str]:
+    """Required counter names of the profile schema's ``counters`` object."""
+    try:
+        schema = json.loads(text)
+        required = schema["properties"]["counters"]["required"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise FactError(f"profile schema has no counters.required list: {exc}")
+    if not isinstance(required, list) or not all(
+        isinstance(name, str) for name in required
+    ):
+        raise FactError("counters.required must be a list of strings")
+    return frozenset(required)
+
+
+@dataclass(frozen=True)
+class ProjectFacts:
+    """The two counter registries plus where they were read from."""
+
+    stats_fields: FrozenSet[str]
+    schema_counters: FrozenSet[str]
+    stats_path: str
+    schema_path: str
+
+    @property
+    def declared_counters(self) -> FrozenSet[str]:
+        """Counters valid to bump: declared field AND schema-required."""
+        return self.stats_fields & self.schema_counters
+
+    @classmethod
+    def from_paths(cls, stats_path: Path, schema_path: Path) -> "ProjectFacts":
+        return cls(
+            stats_fields=parse_stats_fields(stats_path.read_text()),
+            schema_counters=parse_schema_counters(schema_path.read_text()),
+            stats_path=str(stats_path),
+            schema_path=str(schema_path),
+        )
+
+    @classmethod
+    def load(cls, root: Path) -> Optional["ProjectFacts"]:
+        """Facts for the repo at ``root``; ``None`` when the sources are
+        absent (e.g. linting a standalone file tree in tests)."""
+        stats_path = root / STATS_RELPATH
+        schema_path = root / SCHEMA_RELPATH
+        if not stats_path.is_file() or not schema_path.is_file():
+            return None
+        return cls.from_paths(stats_path, schema_path)

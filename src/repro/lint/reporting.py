@@ -1,0 +1,38 @@
+"""Report rendering for ``cfl-match lint``: human text and JSON.
+
+The JSON shape is versioned and stable so CI can archive
+``lint-report.json`` as an artifact and diff runs across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List
+
+from .analyzer import LintReport
+from .registry import Rule
+
+
+def write_text(report: LintReport, stream: IO[str]) -> None:
+    """Human-readable report: one diagnostic per line plus a summary."""
+    stream.write(report.render())
+    stream.write("\n")
+
+
+def write_json(report: LintReport, stream: IO[str]) -> None:
+    """Versioned JSON report (the ``--json`` output)."""
+    json.dump(report.to_dict(), stream, indent=2, sort_keys=False)
+    stream.write("\n")
+
+
+def format_rule_list(rules: List[Rule]) -> str:
+    """``--list-rules`` table: id, name, summary, scope."""
+    lines: List[str] = []
+    for rule in rules:
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"      {rule.summary}")
+        scope = ", ".join(rule.paths)
+        if rule.excludes:
+            scope += f" (except {', '.join(rule.excludes)})"
+        lines.append(f"      scope: {scope}")
+    return "\n".join(lines)

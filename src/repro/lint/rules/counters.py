@@ -1,0 +1,214 @@
+"""R001 counter-discipline: every bumped counter is declared and schema'd.
+
+The observability layer (PR 3) promises that ``SearchStats`` is the
+single registry of search counters and that ``docs/profile.schema.json``
+lists every one of them, so ``cfl-match profile`` output never silently
+gains or loses a key.  Nothing enforced that promise: a typo'd
+``stats.nodez += 1`` would create an attribute on the dataclass instance
+and vanish from ``to_dict()``/``merge()``, corrupting worker aggregation
+without any test failing.
+
+The rule has two halves:
+
+* a **project check** that the declared dataclass fields and the schema's
+  required counter list are *identical sets* (both directions);
+* a **per-module check** that every ``<stats>.<name> += ...`` and every
+  ``setattr(<stats>, "<name>", ...)`` with a literal name targets a
+  declared-and-schema'd counter.
+
+"Stats-like" expressions are inferred, not guessed from one convention:
+parameters annotated ``SearchStats``/``Optional[SearchStats]``, variables
+assigned from a ``SearchStats(...)`` construction (including conditional
+expressions), attributes named ``stats``/``build_stats``/``total_stats``,
+and — as a safety net — bare names matching that same vocabulary.
+``stage_stats`` dicts are explicitly excluded: they hold stats objects,
+they are not stats objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..astutils import (
+    FunctionNode,
+    annotation_words,
+    dotted_name,
+    iter_parameters,
+    statements_excluding_nested,
+    walk_scopes,
+)
+from ..diagnostics import Diagnostic
+from ..facts import ProjectFacts
+from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..analyzer import ModuleContext
+
+#: attribute spellings that hold a SearchStats object by project convention
+STATS_ATTR_NAMES = frozenset({"stats", "build_stats", "total_stats"})
+#: names that look stats-like but are known containers of stats objects
+NOT_STATS_NAMES = frozenset({"stage_stats"})
+
+
+def _name_is_stats_like(name: str) -> bool:
+    if name in NOT_STATS_NAMES:
+        return False
+    return name == "stats" or name.endswith("_stats")
+
+
+def _expr_constructs_stats(node: ast.AST) -> bool:
+    """True when the expression's value may come from ``SearchStats(...)``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            called = dotted_name(sub.func)
+            if called is not None and called.split(".")[-1] == "SearchStats":
+                return True
+    return False
+
+
+def _infer_env(
+    body: List[ast.stmt],
+    func: Optional[FunctionNode],
+    inherited: Dict[str, str],
+) -> Dict[str, str]:
+    env = dict(inherited)
+    if func is not None:
+        for param in iter_parameters(func):
+            if "SearchStats" in annotation_words(param.annotation):
+                env[param.arg] = "stats"
+    for node in statements_excluding_nested(body):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = None
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(node, ast.AnnAssign) and "SearchStats" in annotation_words(
+                node.annotation
+            ):
+                env[target.id] = "stats"
+            elif value is not None and (
+                _expr_constructs_stats(value)
+                or (isinstance(value, ast.Name) and env.get(value.id) == "stats")
+                or (
+                    isinstance(value, ast.Attribute)
+                    and value.attr in STATS_ATTR_NAMES
+                )
+            ):
+                env[target.id] = "stats"
+    return env
+
+
+def _is_stats_expr(node: ast.AST, env: Dict[str, str]) -> bool:
+    if isinstance(node, ast.Name):
+        return env.get(node.id) == "stats" or _name_is_stats_like(node.id)
+    if isinstance(node, ast.Attribute):
+        return node.attr in STATS_ATTR_NAMES
+    return False
+
+
+def _counter_problem(counter: str, facts: ProjectFacts) -> Optional[str]:
+    if counter not in facts.stats_fields:
+        return (
+            f"counter {counter!r} is not a declared SearchStats field "
+            f"(see {facts.stats_path})"
+        )
+    if counter not in facts.schema_counters:
+        return (
+            f"counter {counter!r} is a SearchStats field but missing from "
+            f"the profile schema's counters.required ({facts.schema_path})"
+        )
+    return None
+
+
+def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
+    if facts is None:
+        return []
+    diagnostics: List[Diagnostic] = []
+    for body, env in walk_scopes(module.tree, _infer_env):
+        for node in statements_excluding_nested(body):
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Attribute
+            ):
+                if not _is_stats_expr(node.target.value, env):
+                    continue
+                problem = _counter_problem(node.target.attr, facts)
+                if problem is not None:
+                    diagnostics.append(module.diagnostic(RULE.id, node, problem))
+            elif isinstance(node, ast.Call):
+                called = dotted_name(node.func)
+                if called != "setattr" or len(node.args) < 2:
+                    continue
+                target, name_node = node.args[0], node.args[1]
+                if not _is_stats_expr(target, env):
+                    continue
+                if not (
+                    isinstance(name_node, ast.Constant)
+                    and isinstance(name_node.value, str)
+                ):
+                    continue  # dynamic names (merge over dataclasses.fields)
+                problem = _counter_problem(name_node.value, facts)
+                if problem is not None:
+                    diagnostics.append(module.diagnostic(RULE.id, node, problem))
+    return diagnostics
+
+
+def project_check(facts: ProjectFacts) -> List[Diagnostic]:
+    """Both counter registries must be the same set, both directions."""
+    diagnostics: List[Diagnostic] = []
+    for counter in sorted(facts.stats_fields - facts.schema_counters):
+        diagnostics.append(
+            Diagnostic(
+                rule=RULE.id,
+                path=facts.schema_path,
+                line=1,
+                column=0,
+                message=(
+                    f"SearchStats field {counter!r} is missing from the "
+                    "profile schema's counters.required list"
+                ),
+            )
+        )
+    for counter in sorted(facts.schema_counters - facts.stats_fields):
+        diagnostics.append(
+            Diagnostic(
+                rule=RULE.id,
+                path=facts.stats_path,
+                line=1,
+                column=0,
+                message=(
+                    f"schema counter {counter!r} is not a declared "
+                    "SearchStats field"
+                ),
+            )
+        )
+    return diagnostics
+
+
+RULE = register(
+    Rule(
+        id="R001",
+        name="counter-discipline",
+        summary=(
+            "counters bumped on SearchStats objects must be declared "
+            "dataclass fields and appear in docs/profile.schema.json"
+        ),
+        rationale=(
+            "SearchStats.merge()/to_dict() iterate dataclasses.fields(); a "
+            "counter bumped under an undeclared name silently drops out of "
+            "worker aggregation and profile output (PR 3 invariant)."
+        ),
+        paths=("src/repro/*.py",),
+        check=check,
+        project_check=project_check,
+    )
+)

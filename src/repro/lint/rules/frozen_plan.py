@@ -1,0 +1,190 @@
+"""R003 frozen-plan: prepared plans are immutable outside the build layer.
+
+The parallel engine shares one :class:`PreparedQuery` (and its ``CPI`` /
+``CompiledCPI`` wire form) across workers — copy-on-write under ``fork``,
+decoded-once-and-cached under ``spawn`` pools.  Any in-place mutation of
+a shared plan after preparation corrupts *sibling chunks of the same
+query* (fork) or *every later query that hits the worker-side plan LRU*
+(spawn).  The sanctioned way to specialize a plan is the copy-making API:
+``CPI.with_root_candidates`` / ``CFLMatch._with_root_candidates``.
+
+The rule flags any statement that assigns through an attribute (or a
+subscript of an attribute chain) rooted at a plan-like object, outside
+the modules whose *job* is plan construction: ``cpi.py`` itself,
+``cpi_builder*.py``, ``cpi_storage.py`` and ``matcher.py`` (the
+``prepare*`` family).
+
+Plan-like objects are inferred from parameter annotations
+(``PreparedQuery``/``CPI``/``CompiledCPI``), from assignments whose value
+is a plan-producing call (``prepare``, ``prepare_from_cpi``,
+``decode_plan``, ``with_root_candidates``, ``to_cpi``, a ``CompiledCPI``
+classmethod, or a bare type construction), and from the project's
+naming vocabulary (``plan``, ``prepared``, ``cpi``, ``compiled``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..astutils import (
+    FunctionNode,
+    annotation_words,
+    assignment_target_root,
+    dotted_name,
+    iter_parameters,
+    statements_excluding_nested,
+    walk_scopes,
+)
+from ..diagnostics import Diagnostic
+from ..facts import ProjectFacts
+from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..analyzer import ModuleContext
+
+PLAN_TYPE_NAMES = frozenset({"PreparedQuery", "CPI", "CompiledCPI"})
+PLAN_VAR_NAMES = frozenset({"plan", "prepared", "cpi", "compiled"})
+#: annotation words meaning "container of plans", which may be mutated —
+#: the worker-side plan LRU is an OrderedDict[int, PreparedQuery]
+CONTAINER_WORDS = frozenset(
+    {
+        "Dict",
+        "dict",
+        "OrderedDict",
+        "List",
+        "list",
+        "Tuple",
+        "tuple",
+        "Mapping",
+        "MutableMapping",
+        "Sequence",
+        "Set",
+        "set",
+    }
+)
+PLAN_PRODUCERS = frozenset(
+    {
+        "prepare",
+        "prepare_from_cpi",
+        "decode_plan",
+        "with_root_candidates",
+        "to_cpi",
+        "from_cpi",
+        "build_cpi",
+        "build_naive_cpi",
+        "build_cpi_numpy",
+    }
+)
+
+
+def _expr_produces_plan(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    called = dotted_name(node.func)
+    if called is None:
+        return False
+    parts = called.split(".")
+    if parts[-1] in PLAN_PRODUCERS:
+        return True
+    # Type constructions and classmethods: CPI(...), CompiledCPI.from_dict(...)
+    return any(part in PLAN_TYPE_NAMES for part in parts)
+
+
+def _infer_env(
+    body: List[ast.stmt],
+    func: Optional[FunctionNode],
+    inherited: Dict[str, str],
+) -> Dict[str, str]:
+    env = dict(inherited)
+
+    def annotates_plan(annotation: object) -> bool:
+        words = annotation_words(annotation)  # type: ignore[arg-type]
+        return bool(words & PLAN_TYPE_NAMES) and not words & CONTAINER_WORDS
+
+    if func is not None:
+        for param in iter_parameters(func):
+            if annotates_plan(param.annotation):
+                env[param.arg] = "plan"
+    for node in statements_excluding_nested(body):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+            if annotates_plan(node.annotation) and isinstance(node.target, ast.Name):
+                env[node.target.id] = "plan"
+        else:
+            continue
+        if value is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and (
+                _expr_produces_plan(value)
+                or (isinstance(value, ast.Name) and env.get(value.id) == "plan")
+            ):
+                env[target.id] = "plan"
+    return env
+
+
+def _is_plan_name(name: str, env: Dict[str, str]) -> bool:
+    return env.get(name) == "plan" or name in PLAN_VAR_NAMES
+
+
+def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for body, env in walk_scopes(module.tree, _infer_env):
+        for node in statements_excluding_nested(body):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                elements = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in elements:
+                    root, derefs = assignment_target_root(element)
+                    if root is None or not derefs:
+                        continue
+                    if _is_plan_name(root, env):
+                        diagnostics.append(
+                            module.diagnostic(
+                                RULE.id,
+                                node,
+                                f"mutates shared plan object {root!r} outside "
+                                "the plan-construction modules; use the "
+                                "copy-making API (with_root_candidates) "
+                                "instead",
+                            )
+                        )
+    return diagnostics
+
+
+RULE = register(
+    Rule(
+        id="R003",
+        name="frozen-plan",
+        summary=(
+            "no attribute/element assignment on PreparedQuery, CPI or "
+            "CompiledCPI objects outside the plan-construction modules"
+        ),
+        rationale=(
+            "workers share plans copy-on-write (fork) or via a decoded-plan "
+            "LRU (spawn pools); in-place mutation corrupts sibling chunks "
+            "and later cached queries (PR 2 invariant)."
+        ),
+        paths=("src/repro/*.py",),
+        excludes=(
+            "src/repro/core/cpi.py",
+            "src/repro/core/cpi_builder.py",
+            "src/repro/core/cpi_builder_numpy.py",
+            "src/repro/core/cpi_storage.py",
+            "src/repro/core/matcher.py",
+        ),
+        check=check,
+    )
+)

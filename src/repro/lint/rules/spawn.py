@@ -1,0 +1,142 @@
+"""R002 spawn-safety: only module-level callables cross the pool boundary.
+
+The parallel engine (PR 2) must work under the ``spawn`` start method
+(macOS default, Windows only option), where every task and initializer is
+pickled into the worker process.  Lambdas, nested functions (closures)
+and bound methods are not picklable by reference; handing one to
+``Pool.apply_async``/``map``/``initializer=`` works under ``fork`` on
+Linux and then crashes — or worse, silently re-captures stale state — the
+moment the start method changes.
+
+The rule inspects every pool-submission call site in ``parallel.py``:
+
+* the first positional argument of ``.apply_async`` / ``.apply`` /
+  ``.map`` / ``.imap`` / ``.imap_unordered`` / ``.starmap`` (and their
+  ``_async`` forms) / ``.submit``;
+* the value of an ``initializer=`` keyword;
+* through ``functools.partial(...)``, its wrapped callable.
+
+``callback=``/``error_callback=`` lambdas are deliberately **allowed**:
+they run in the parent process and never cross the boundary.  Names the
+rule cannot resolve (function parameters forwarding a callable) pass —
+the rule proves unsafety, it does not demand proof of safety.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional, Set
+
+from ..astutils import dotted_name, module_level_callables, nested_function_names
+from ..diagnostics import Diagnostic
+from ..facts import ProjectFacts
+from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..analyzer import ModuleContext
+
+SUBMIT_METHODS = frozenset(
+    {
+        "apply",
+        "apply_async",
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "submit",
+    }
+)
+
+
+def _module_import_roots(tree: ast.Module) -> Set[str]:
+    """Top-level ``import X`` roots — ``X.func`` resolves by reference."""
+    roots: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                roots.add((alias.asname or alias.name).split(".")[0])
+    return roots
+
+
+def _unsafe_reason(
+    candidate: ast.AST,
+    module_defs: Set[str],
+    nested_defs: Set[str],
+    import_roots: Set[str],
+) -> Optional[str]:
+    if isinstance(candidate, ast.Lambda):
+        return "a lambda cannot be pickled into a spawn worker"
+    if isinstance(candidate, ast.Name):
+        if candidate.id in nested_defs and candidate.id not in module_defs:
+            return (
+                f"nested function {candidate.id!r} is a closure and cannot "
+                "be pickled into a spawn worker"
+            )
+        return None  # module-level def, import, or unresolvable parameter
+    if isinstance(candidate, ast.Attribute):
+        base = candidate.value
+        if isinstance(base, ast.Name) and base.id in import_roots:
+            return None  # module attribute, picklable by reference
+        shown = dotted_name(candidate) or candidate.attr
+        return (
+            f"{shown!r} looks like a bound method / instance attribute; "
+            "spawn workers need a module-level function"
+        )
+    if isinstance(candidate, ast.Call):
+        called = dotted_name(candidate.func)
+        if called is not None and called.split(".")[-1] == "partial":
+            if candidate.args:
+                return _unsafe_reason(
+                    candidate.args[0], module_defs, nested_defs, import_roots
+                )
+        return None  # factory output — not provably unsafe
+    return None
+
+
+def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
+    tree = module.tree
+    module_defs = module_level_callables(tree)
+    nested_defs = nested_function_names(tree)
+    import_roots = _module_import_roots(tree)
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        candidates: List[ast.AST] = []
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in SUBMIT_METHODS
+            and node.args
+        ):
+            candidates.append(node.args[0])
+        for keyword in node.keywords:
+            if keyword.arg == "initializer":
+                candidates.append(keyword.value)
+        for candidate in candidates:
+            reason = _unsafe_reason(
+                candidate, module_defs, nested_defs, import_roots
+            )
+            if reason is not None:
+                diagnostics.append(module.diagnostic(RULE.id, candidate, reason))
+    return diagnostics
+
+
+RULE = register(
+    Rule(
+        id="R002",
+        name="spawn-safety",
+        summary=(
+            "callables submitted to the worker pool must be module-level "
+            "functions (no lambdas, closures, or bound methods)"
+        ),
+        rationale=(
+            "spawn-mode workers receive tasks and initializers by pickle; "
+            "anything not importable by module path breaks the PR 2 "
+            "shared-plan engine off Linux (parent-side callbacks are exempt)."
+        ),
+        paths=("src/repro/core/parallel.py",),
+        check=check,
+    )
+)

@@ -1,0 +1,125 @@
+"""R001's cross-artifact check: SearchStats fields vs profile-schema
+counters, failing in BOTH directions, plus the live-repo consistency
+gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ProjectFacts, get_rule
+from repro.lint.facts import (
+    FactError,
+    parse_schema_counters,
+    parse_stats_fields,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+STATS_SOURCE = """
+from dataclasses import dataclass
+
+
+@dataclass
+class SearchStats:
+    nodes: int = 0
+    embeddings: int = 0
+    backtracks: int = 0
+
+    def merge(self, other):
+        return self
+"""
+
+
+def make_schema(counters):
+    return json.dumps(
+        {
+            "type": "object",
+            "properties": {
+                "counters": {
+                    "type": "object",
+                    "required": list(counters),
+                }
+            },
+        }
+    )
+
+
+def facts_from(tmp_path: Path, stats_source: str, schema_text: str) -> ProjectFacts:
+    stats_path = tmp_path / "stats.py"
+    schema_path = tmp_path / "schema.json"
+    stats_path.write_text(stats_source)
+    schema_path.write_text(schema_text)
+    return ProjectFacts.from_paths(stats_path, schema_path)
+
+
+class TestParsing:
+    def test_parse_stats_fields(self):
+        fields = parse_stats_fields(STATS_SOURCE)
+        assert fields == frozenset({"nodes", "embeddings", "backtracks"})
+
+    def test_parse_stats_fields_missing_class(self):
+        with pytest.raises(FactError):
+            parse_stats_fields("x = 1\n")
+
+    def test_parse_schema_counters(self):
+        counters = parse_schema_counters(make_schema(["nodes", "embeddings"]))
+        assert counters == frozenset({"nodes", "embeddings"})
+
+    def test_parse_schema_counters_malformed(self):
+        with pytest.raises(FactError):
+            parse_schema_counters("{}")
+        with pytest.raises(FactError):
+            parse_schema_counters(json.dumps({"properties": {"counters": {}}}))
+
+
+class TestCrossCheck:
+    def test_consistent_registries_pass(self, tmp_path):
+        facts = facts_from(
+            tmp_path, STATS_SOURCE, make_schema(["nodes", "embeddings", "backtracks"])
+        )
+        assert get_rule("R001").project_check(facts) == []
+
+    def test_field_missing_from_schema_fails(self, tmp_path):
+        # direction 1: a declared SearchStats field the schema forgot
+        facts = facts_from(
+            tmp_path, STATS_SOURCE, make_schema(["nodes", "embeddings"])
+        )
+        diags = get_rule("R001").project_check(facts)
+        assert len(diags) == 1
+        assert "backtracks" in diags[0].message
+        assert diags[0].path.endswith("schema.json")
+
+    def test_schema_counter_without_field_fails(self, tmp_path):
+        # direction 2: a schema counter no dataclass field backs
+        facts = facts_from(
+            tmp_path,
+            STATS_SOURCE,
+            make_schema(["nodes", "embeddings", "backtracks", "phantom"]),
+        )
+        diags = get_rule("R001").project_check(facts)
+        assert len(diags) == 1
+        assert "phantom" in diags[0].message
+        assert diags[0].path.endswith("stats.py")
+
+    def test_both_directions_at_once(self, tmp_path):
+        facts = facts_from(
+            tmp_path, STATS_SOURCE, make_schema(["nodes", "embeddings", "phantom"])
+        )
+        diags = get_rule("R001").project_check(facts)
+        assert sorted(d.rule for d in diags) == ["R001", "R001"]
+        messages = " ".join(d.message for d in diags)
+        assert "backtracks" in messages and "phantom" in messages
+
+
+class TestLiveRepo:
+    def test_repo_registries_are_in_lockstep(self):
+        facts = ProjectFacts.load(REPO_ROOT)
+        assert facts is not None
+        assert facts.stats_fields == facts.schema_counters
+        assert get_rule("R001").project_check(facts) == []
+
+    def test_load_returns_none_outside_a_repo(self, tmp_path):
+        assert ProjectFacts.load(tmp_path) is None

@@ -1,0 +1,525 @@
+"""Fixture tests for every repro-lint rule: one firing snippet and one
+near-miss per rule, so a rule that silently stops firing (or starts
+over-firing) fails here before it rots in CI."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import ProjectFacts, lint_source
+
+FACTS = ProjectFacts(
+    stats_fields=frozenset({"nodes", "embeddings", "backtracks"}),
+    schema_counters=frozenset({"nodes", "embeddings", "backtracks"}),
+    stats_path="src/repro/core/stats.py",
+    schema_path="docs/profile.schema.json",
+)
+
+
+def run(source: str, relpath: str, select=None, facts=FACTS):
+    return lint_source(textwrap.dedent(source), relpath, facts=facts, select=select)
+
+
+# ----------------------------------------------------------------------
+# R001 counter-discipline
+# ----------------------------------------------------------------------
+class TestR001:
+    def test_fires_on_undeclared_counter(self):
+        diags = run(
+            """
+            def f(stats: "SearchStats") -> None:
+                stats.nodez += 1
+            """,
+            "src/repro/core/foo.py",
+            select=["R001"],
+        )
+        assert [d.rule for d in diags] == ["R001"]
+        assert "nodez" in diags[0].message
+
+    def test_fires_on_literal_setattr(self):
+        diags = run(
+            """
+            from .stats import SearchStats
+
+            def f():
+                stats = SearchStats()
+                setattr(stats, "bogus", 1)
+            """,
+            "src/repro/core/foo.py",
+            select=["R001"],
+        )
+        assert len(diags) == 1
+
+    def test_fires_inside_closure_via_inherited_env(self):
+        diags = run(
+            """
+            def outer(stats: "SearchStats") -> None:
+                def inner() -> None:
+                    stats.typo_counter += 1
+                inner()
+            """,
+            "src/repro/core/foo.py",
+            select=["R001"],
+        )
+        assert len(diags) == 1
+
+    def test_near_miss_declared_counter_passes(self):
+        diags = run(
+            """
+            def f(stats: "SearchStats") -> None:
+                stats.nodes += 1
+                stats.backtracks += 1
+            """,
+            "src/repro/core/foo.py",
+            select=["R001"],
+        )
+        assert diags == []
+
+    def test_near_miss_dynamic_setattr_passes(self):
+        # merge() iterates dataclasses.fields — dynamic names are exempt
+        diags = run(
+            """
+            import dataclasses
+
+            def merge(stats: "SearchStats", other: "SearchStats") -> None:
+                for f in dataclasses.fields(stats):
+                    setattr(stats, f.name, getattr(other, f.name))
+            """,
+            "src/repro/core/foo.py",
+            select=["R001"],
+        )
+        assert diags == []
+
+    def test_near_miss_non_stats_object_passes(self):
+        diags = run(
+            """
+            def f(config) -> None:
+                config.nodez += 1
+            """,
+            "src/repro/core/foo.py",
+            select=["R001"],
+        )
+        assert diags == []
+
+    def test_no_facts_means_no_findings(self):
+        diags = run(
+            """
+            def f(stats: "SearchStats") -> None:
+                stats.nodez += 1
+            """,
+            "src/repro/core/foo.py",
+            select=["R001"],
+            facts=None,
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R002 spawn-safety
+# ----------------------------------------------------------------------
+class TestR002:
+    PATH = "src/repro/core/parallel.py"
+
+    def test_fires_on_lambda_task(self):
+        diags = run(
+            "def go(pool, items):\n"
+            "    pool.apply_async(lambda x: x + 1, (items,))\n",
+            self.PATH,
+            select=["R002"],
+        )
+        assert [d.rule for d in diags] == ["R002"]
+        assert "lambda" in diags[0].message
+
+    def test_fires_on_nested_function(self):
+        diags = run(
+            """
+            def go(pool, items):
+                def worker(x):
+                    return x
+                return pool.map(worker, items)
+            """,
+            self.PATH,
+            select=["R002"],
+        )
+        assert len(diags) == 1
+        assert "closure" in diags[0].message
+
+    def test_fires_on_bound_method_initializer(self):
+        diags = run(
+            """
+            def go(ctx, helper):
+                return ctx.Pool(2, initializer=helper.setup)
+            """,
+            self.PATH,
+            select=["R002"],
+        )
+        assert len(diags) == 1
+        assert "bound method" in diags[0].message
+
+    def test_near_miss_module_level_function_passes(self):
+        diags = run(
+            """
+            def task(x):
+                return x
+
+            def go(pool, items):
+                return pool.map(task, items)
+            """,
+            self.PATH,
+            select=["R002"],
+        )
+        assert diags == []
+
+    def test_near_miss_parent_side_callback_lambda_passes(self):
+        diags = run(
+            """
+            def task(x):
+                return x
+
+            def go(pool, out):
+                pool.apply_async(task, (1,), callback=lambda r: out.append(r))
+            """,
+            self.PATH,
+            select=["R002"],
+        )
+        assert diags == []
+
+    def test_scoped_to_parallel_module_only(self):
+        diags = run(
+            "def go(pool):\n    pool.map(lambda x: x, [1])\n",
+            "src/repro/core/ordering.py",
+            select=["R002"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R003 frozen-plan
+# ----------------------------------------------------------------------
+class TestR003:
+    def test_fires_on_annotated_parameter_mutation(self):
+        diags = run(
+            """
+            def f(prepared: "PreparedQuery") -> None:
+                prepared.order = []
+            """,
+            "src/repro/core/parallel.py",
+            select=["R003"],
+        )
+        assert [d.rule for d in diags] == ["R003"]
+
+    def test_fires_on_producer_result_mutation(self):
+        diags = run(
+            """
+            def f(matcher, query):
+                p = matcher.prepare(query)
+                p.cpi.candidates[0] = []
+            """,
+            "src/repro/core/parallel.py",
+            select=["R003"],
+        )
+        assert len(diags) == 1
+
+    def test_near_miss_rebinding_passes(self):
+        diags = run(
+            """
+            def f(plan, other):
+                plan = other
+                return plan
+            """,
+            "src/repro/core/parallel.py",
+            select=["R003"],
+        )
+        assert diags == []
+
+    def test_near_miss_plan_container_passes(self):
+        # the worker-side plan LRU holds plans; inserting is not mutation
+        diags = run(
+            """
+            def f(key, plan):
+                plans: "OrderedDict[int, PreparedQuery]" = get_cache()
+                plans[key] = plan
+            """,
+            "src/repro/core/parallel.py",
+            select=["R003"],
+        )
+        assert diags == []
+
+    def test_excluded_in_builder_modules(self):
+        diags = run(
+            """
+            def f(cpi, tree):
+                cpi.tree = tree
+            """,
+            "src/repro/core/cpi_builder.py",
+            select=["R003"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R004 deterministic-iteration
+# ----------------------------------------------------------------------
+class TestR004:
+    PATH = "src/repro/core/ordering.py"
+
+    def test_fires_on_loop_over_set(self):
+        diags = run(
+            """
+            def f(xs):
+                pending = set(xs)
+                for v in pending:
+                    print(v)
+            """,
+            self.PATH,
+            select=["R004"],
+        )
+        assert [d.rule for d in diags] == ["R004"]
+
+    def test_fires_on_comprehension_over_set_algebra(self):
+        diags = run(
+            """
+            def f(a, b):
+                left = set(a)
+                return [v for v in left - set(b)]
+            """,
+            self.PATH,
+            select=["R004"],
+        )
+        assert len(diags) == 1
+
+    def test_fires_on_cand_sets_subscript(self):
+        diags = run(
+            """
+            def f(cpi, u):
+                for v in cpi.cand_sets[u]:
+                    print(v)
+            """,
+            self.PATH,
+            select=["R004"],
+        )
+        assert len(diags) == 1
+
+    def test_near_miss_sorted_wrapper_passes(self):
+        diags = run(
+            """
+            def f(xs):
+                pending = set(xs)
+                for v in sorted(pending):
+                    print(v)
+            """,
+            self.PATH,
+            select=["R004"],
+        )
+        assert diags == []
+
+    def test_near_miss_list_iteration_passes(self):
+        diags = run(
+            """
+            def f(xs):
+                pending = list(xs)
+                for v in pending:
+                    print(v)
+            """,
+            self.PATH,
+            select=["R004"],
+        )
+        assert diags == []
+
+    def test_not_scoped_to_other_modules(self):
+        diags = run(
+            "def f(xs):\n    for v in set(xs):\n        print(v)\n",
+            "src/repro/core/decomposition.py",
+            select=["R004"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R005 no-wallclock-in-core
+# ----------------------------------------------------------------------
+class TestR005:
+    def test_fires_on_perf_counter_call(self):
+        diags = run(
+            """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """,
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert [d.rule for d in diags] == ["R005"]
+        assert "monotonic_now" in diags[0].message
+
+    def test_fires_on_clock_from_import(self):
+        diags = run(
+            "from time import monotonic\n",
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert len(diags) == 1
+
+    def test_fires_on_datetime_now(self):
+        diags = run(
+            """
+            import datetime
+
+            def f():
+                return datetime.datetime.now()
+            """,
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert len(diags) == 1
+
+    def test_near_miss_sleep_passes(self):
+        diags = run(
+            "import time\n\ndef f():\n    time.sleep(0.1)\n",
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert diags == []
+
+    def test_exempt_in_stats_and_matcher(self):
+        source = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        for exempt in ("src/repro/core/stats.py", "src/repro/core/matcher.py"):
+            assert run(source, exempt, select=["R005"]) == []
+
+
+# ----------------------------------------------------------------------
+# R006 no-swallowed-exceptions
+# ----------------------------------------------------------------------
+class TestR006:
+    PATH = "src/repro/core/parallel.py"
+
+    def test_fires_on_bare_except(self):
+        diags = run(
+            """
+            def f(x):
+                try:
+                    x()
+                except:
+                    pass
+            """,
+            self.PATH,
+            select=["R006"],
+        )
+        assert [d.rule for d in diags] == ["R006"]
+
+    def test_fires_on_broad_except_pass(self):
+        diags = run(
+            """
+            def f(x):
+                try:
+                    x()
+                except Exception:
+                    pass
+            """,
+            "src/repro/cli.py",
+            select=["R006"],
+        )
+        assert len(diags) == 1
+
+    def test_near_miss_specific_exception_pass_passes(self):
+        diags = run(
+            """
+            def f(x):
+                try:
+                    x()
+                except OSError:
+                    pass
+            """,
+            self.PATH,
+            select=["R006"],
+        )
+        assert diags == []
+
+    def test_near_miss_broad_except_with_handling_passes(self):
+        diags = run(
+            """
+            def f(x, log):
+                try:
+                    x()
+                except Exception as exc:
+                    log(exc)
+                    raise
+            """,
+            self.PATH,
+            select=["R006"],
+        )
+        assert diags == []
+
+    def test_not_scoped_to_core_match(self):
+        diags = run(
+            "def f(x):\n    try:\n        x()\n    except:\n        pass\n",
+            "src/repro/core/core_match.py",
+            select=["R006"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_same_line_suppression(self):
+        diags = run(
+            "import time\n\n"
+            "def f():\n"
+            "    return time.perf_counter()  # repro-lint: disable=R005\n",
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert diags == []
+
+    def test_standalone_comment_suppresses_next_line(self):
+        diags = run(
+            "import time\n\n"
+            "def f():\n"
+            "    # repro-lint: disable=R005\n"
+            "    return time.perf_counter()\n",
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert diags == []
+
+    def test_disable_file(self):
+        diags = run(
+            "# repro-lint: disable-file=R005\n"
+            "import time\n\n"
+            "def f():\n"
+            "    return time.perf_counter()\n",
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert diags == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        diags = run(
+            "import time\n\n"
+            "def f():\n"
+            "    return time.perf_counter()  # repro-lint: disable=R001\n",
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert len(diags) == 1
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        diags = run(
+            'import time\n\n'
+            'def f():\n'
+            '    note = "# repro-lint: disable=R005"\n'
+            '    return time.perf_counter(), note\n',
+            "src/repro/core/foo.py",
+            select=["R005"],
+        )
+        assert len(diags) == 1
+
+
+def test_unknown_rule_id_raises():
+    with pytest.raises(KeyError):
+        run("x = 1\n", "src/repro/core/foo.py", select=["R999"])
