@@ -31,6 +31,7 @@ INF = math.inf
 #: Algorithm registry: name -> factory(data_graph) -> matcher.
 MATCHERS: Dict[str, Callable[[Graph], object]] = {
     "CFL-Match": lambda g: CFLMatch(g),
+    "CFL-Match-Reference": lambda g: CFLMatch(g, engine="reference"),
     "CF-Match": lambda g: CFLMatch(g, mode="cf"),
     "Match": lambda g: CFLMatch(g, mode="match"),
     "CFL-Match-TD": lambda g: CFLMatch(g, cpi_mode="td"),

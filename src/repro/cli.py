@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from .bench.experiments import EXPERIMENTS, PROFILES, run_experiment
 from .bench.harness import MATCHERS, make_matcher
-from .core.matcher import CFLMatch
+from .core.matcher import ENGINES, CFLMatch
 from .graph.io import load_graph
 from .workloads.datasets import DATASETS, SCALES, dataset_spec
 
@@ -38,10 +38,19 @@ def _cmd_match(args: argparse.Namespace) -> int:
         from .core.parallel import parallel_search_iter
 
         embeddings = parallel_search_iter(
-            data, query, workers=workers, limit=args.limit
+            data, query, workers=workers, limit=args.limit, engine=args.engine
         )
     else:
-        matcher = make_matcher(args.algorithm, data)
+        if args.algorithm == "CFL-Match":
+            matcher = CFLMatch(data, engine=args.engine)
+        else:
+            if args.engine != "kernel":
+                print(
+                    f"error: --engine applies to CFL-Match, not {args.algorithm}",
+                    file=sys.stderr,
+                )
+                return 2
+            matcher = make_matcher(args.algorithm, data)
         embeddings = matcher.search(query, limit=args.limit)
     count = 0
     for embedding in embeddings:
@@ -60,9 +69,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
     if args.workers > 1:
         from .core.parallel import parallel_count
 
-        total = parallel_count(data, query, workers=args.workers, limit=args.limit)
+        total = parallel_count(
+            data, query, workers=args.workers, limit=args.limit,
+            engine=args.engine,
+        )
     else:
-        total = CFLMatch(data).count(query, limit=args.limit)
+        total = CFLMatch(data, engine=args.engine).count(query, limit=args.limit)
     elapsed = time.perf_counter() - started
     suffix = "+" if args.limit is not None and total >= args.limit else ""
     print(f"{total}{suffix} embedding(s) in {1000 * elapsed:.1f} ms")
@@ -93,6 +105,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         max_expansions=args.max_expansions,
         time_limit_s=args.time_limit,
         count_only=not args.enumerate,
+        engine=args.engine,
     )
     if args.out:
         Path(args.out).write_text(json.dumps(profile, indent=2) + "\n")
@@ -250,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the shared-plan parallel engine "
              "(CFL-Match only; 1 = sequential)",
     )
+    p_match.add_argument(
+        "--engine", default="kernel", choices=ENGINES,
+        help="CFL-Match enumeration engine: compiled flat-array kernel "
+             "(default) or the reference backtracker",
+    )
     p_match.set_defaults(func=_cmd_match)
 
     p_count = sub.add_parser("count", help="count embeddings (leaf permutations not expanded)")
@@ -259,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the shared-plan parallel engine (1 = sequential)",
+    )
+    p_count.add_argument(
+        "--engine", default="kernel", choices=ENGINES,
+        help="enumeration engine: compiled flat-array kernel (default) "
+             "or the reference backtracker",
     )
     p_count.set_defaults(func=_cmd_count)
 
@@ -298,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--enumerate", action="store_true",
         help="materialize embeddings instead of NEC-combination counting",
+    )
+    p_profile.add_argument(
+        "--engine", default="kernel", choices=ENGINES,
+        help="enumeration engine: compiled flat-array kernel (default) "
+             "or the reference backtracker (recorded in the profile's "
+             "run section)",
     )
     p_profile.set_defaults(func=_cmd_profile)
 

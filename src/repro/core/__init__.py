@@ -8,7 +8,7 @@ from .core_match import (
     build_ordered_vertices,
     validate_embedding,
 )
-from .cpi import CPI, QueryBFSTree
+from .cpi import CPI, EMPTY_CANDIDATES, QueryBFSTree
 from .cpi_builder import build_cpi, build_naive_cpi
 from .decomposition import CFLDecomposition, ForestTree, cfl_decompose
 from .filters import cand_verify, full_candidate_check, label_degree_ok, mnd_ok, nlf_ok
@@ -31,7 +31,16 @@ from .hierarchy import (
     hierarchical_core_order,
     hierarchical_shells,
 )
+from .kernel import (
+    CompiledStage,
+    KernelBacktracker,
+    KernelPlan,
+    build_data_csr,
+    compile_kernel_plan,
+    compile_stage,
+)
 from .matcher import (
+    ENGINES,
     CFLMatch,
     MatchReport,
     PreparedQuery,
@@ -87,6 +96,7 @@ __all__ = [
     "build_ordered_vertices",
     "validate_embedding",
     "CPI",
+    "EMPTY_CANDIDATES",
     "QueryBFSTree",
     "build_cpi",
     "build_naive_cpi",
@@ -111,6 +121,13 @@ __all__ = [
     "forest_independent_set",
     "hierarchical_core_order",
     "hierarchical_shells",
+    "CompiledStage",
+    "KernelBacktracker",
+    "KernelPlan",
+    "build_data_csr",
+    "compile_kernel_plan",
+    "compile_stage",
+    "ENGINES",
     "CFLMatch",
     "MatchReport",
     "PreparedQuery",

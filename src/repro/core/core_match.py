@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from ..graph.graph import Graph
-from .cpi import CPI
+from .cpi import CPI, EMPTY_CANDIDATES
 from .stats import BudgetExhausted, SearchStats, WorkBudget, monotonic_now
 
 __all__ = [
@@ -37,9 +37,11 @@ __all__ = [
 class SearchTimeout(Exception):
     """Raised inside a search when its deadline is crossed.
 
-    Deadlines are absolute ``time.perf_counter()`` values checked every
-    1024 search nodes, so even a search that never emits an embedding
-    (the paper's "INF" cases) terminates promptly.
+    Deadlines are absolute timestamps on the
+    :func:`repro.core.stats.monotonic_now` clock (the single timing seam
+    repro-lint rule R005 enforces for core modules), checked every 1024
+    search nodes, so even a search that never emits an embedding (the
+    paper's "INF" cases) terminates promptly.
     """
 
 
@@ -141,6 +143,11 @@ class CPIBacktracker:
         while depth >= 0:
             slot = ordered[depth]
             u = slot.u
+            # Hoisted per depth-visit: attribute loads stay out of the
+            # per-candidate loop, and slots without backward non-tree
+            # edges (every forest slot, most core slots) skip the
+            # ValidateNT block entirely.
+            backward = slot.backward_neighbors
             descended = False
             iterator = iterators[depth]
             assert iterator is not None
@@ -148,14 +155,15 @@ class CPIBacktracker:
                 if used[v]:
                     stats.injectivity_conflicts += 1
                     continue
-                ok = True
-                for w in slot.backward_neighbors:
-                    if mapping[w] not in adj_sets[v]:
-                        ok = False
-                        break
-                if not ok:
-                    stats.edge_check_failures += 1
-                    continue
+                if backward:
+                    ok = True
+                    for w in backward:
+                        if mapping[w] not in adj_sets[v]:
+                            ok = False
+                            break
+                    if not ok:
+                        stats.edge_check_failures += 1
+                        continue
                 if budget is not None:
                     budget.charge()
                 stats.nodes += 1
@@ -193,7 +201,7 @@ class CPIBacktracker:
         if slot.tree_parent is None:
             return candidates[slot.u]
         parent_image = mapping[slot.tree_parent]
-        return adjacency[slot.u].get(parent_image, ())
+        return adjacency[slot.u].get(parent_image, EMPTY_CANDIDATES)
 
 
 def validate_embedding(query: Graph, data: Graph, mapping: Sequence[int]) -> bool:

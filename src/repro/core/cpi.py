@@ -16,9 +16,15 @@ non-tree edges (Definition 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..graph.graph import Graph, GraphError
+
+#: The one empty-candidate sentinel, shared by every "no adjacency row for
+#: this parent image" path (:meth:`CPI.child_candidates`, the reference
+#: backtracker's ``_slot_candidates``, Leaf-Match's ``_nec_candidates``).
+#: A tuple so accidental mutation of the shared default is impossible.
+EMPTY_CANDIDATES: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -146,9 +152,13 @@ class CPI:
         """The candidate set ``u.C`` (sorted list)."""
         return self.candidates[u]
 
-    def child_candidates(self, u: int, parent_vertex: int) -> List[int]:
-        """``N_u^{u.p}(parent_vertex)``: candidates of u adjacent to it."""
-        return self.adjacency[u].get(parent_vertex, [])
+    def child_candidates(self, u: int, parent_vertex: int) -> Sequence[int]:
+        """``N_u^{u.p}(parent_vertex)``: candidates of u adjacent to it.
+
+        Returns the shared :data:`EMPTY_CANDIDATES` sentinel when the
+        parent image has no adjacency row.
+        """
+        return self.adjacency[u].get(parent_vertex, EMPTY_CANDIDATES)
 
     def is_empty(self) -> bool:
         """True iff some query vertex has no candidates (no embedding)."""

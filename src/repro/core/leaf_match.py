@@ -19,7 +19,7 @@ from itertools import combinations, permutations
 from math import factorial
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .cpi import CPI
+from .cpi import CPI, EMPTY_CANDIDATES
 from .stats import SearchStats, WorkBudget
 
 
@@ -67,7 +67,7 @@ def _nec_candidates(
 ) -> List[int]:
     """``C(u)`` for an NEC: parent's CPI adjacency list minus used vertices."""
     parent_image = mapping[nec.parent]
-    row = cpi.adjacency[nec.members[0]].get(parent_image, ())
+    row = cpi.adjacency[nec.members[0]].get(parent_image, EMPTY_CANDIDATES)
     return [v for v in row if not used[v]]
 
 

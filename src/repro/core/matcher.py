@@ -36,6 +36,7 @@ from .core_match import (
 from .cpi import CPI
 from .cpi_builder import _record_build_totals, build_cpi, build_naive_cpi
 from .decomposition import CFLDecomposition, cfl_decompose
+from .kernel import KernelBacktracker, KernelPlan, build_data_csr, compile_kernel_plan
 from .leaf_match import LeafPlan, build_leaf_plan, count_leaf_matches, enumerate_leaf_matches
 from .ordering import estimate_tree_embeddings, order_structure
 from .root_selection import select_root
@@ -50,6 +51,14 @@ MODES = ("cfl", "cf", "match")
 CPI_MODES = ("full", "td", "naive")
 CORE_STRATEGIES = ("paths", "hierarchical")
 CPI_IMPLS = ("python", "numpy")
+#: Enumeration engines: ``"kernel"`` runs the compiled flat-array loop of
+#: :mod:`repro.core.kernel`; ``"reference"`` runs the readable
+#: :class:`~repro.core.core_match.CPIBacktracker`, kept as the
+#: differential oracle.  Embeddings, enumeration order and the
+#: ``nodes``/``backtracks`` counters are identical between the two (see
+#: the kernel module docstring for the one attribution caveat on the
+#: rejection-counter split).
+ENGINES = ("kernel", "reference")
 
 
 @dataclass
@@ -72,6 +81,10 @@ class PreparedQuery:
     phase_times: Dict[str, float] = field(default_factory=dict)
     #: CandVerify / CPI-construction counters recorded while building.
     build_stats: SearchStats = field(default_factory=SearchStats)
+    #: flat-array compilation of the stages (``engine="kernel"`` plans;
+    #: compiled lazily when a plan built elsewhere reaches a kernel
+    #: matcher, e.g. after ``decode_plan`` in a worker).
+    kernel: Optional[KernelPlan] = None
 
     @property
     def matching_order(self) -> List[int]:
@@ -154,6 +167,11 @@ class CFLMatch:
     cpi_impl:
         ``"python"`` (reference implementation) or ``"numpy"``
         (vectorized builder; identical output, faster on medium graphs).
+    engine:
+        ``"kernel"`` (default) enumerates with the compiled flat-array
+        loop of :mod:`repro.core.kernel`; ``"reference"`` keeps the
+        readable iterator-stack backtracker.  Same embeddings, same
+        order, same ``nodes``/``backtracks`` counters either way.
     plan_cache_size:
         capacity of the per-matcher LRU plan cache.  Repeated calls of
         :meth:`search`/:meth:`count` (or :meth:`prepare`) with a
@@ -171,6 +189,7 @@ class CFLMatch:
         cpi_mode: str = "full",
         core_strategy: str = "paths",
         cpi_impl: str = "python",
+        engine: str = "kernel",
         plan_cache_size: int = 16,
     ):
         if mode not in MODES:
@@ -181,6 +200,8 @@ class CFLMatch:
             raise ValueError(f"core_strategy must be one of {CORE_STRATEGIES}")
         if cpi_impl not in CPI_IMPLS:
             raise ValueError(f"cpi_impl must be one of {CPI_IMPLS}")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
         if plan_cache_size < 0:
             raise ValueError("plan_cache_size must be >= 0")
         self.data = data
@@ -188,7 +209,11 @@ class CFLMatch:
         self.cpi_mode = cpi_mode
         self.core_strategy = core_strategy
         self.cpi_impl = cpi_impl
+        self.engine = engine
         self.plan_cache_size = plan_cache_size
+        # Data-graph CSR for kernel compilation: one pair per matcher,
+        # shared by every compiled plan (built lazily on first use).
+        self._data_csr: Optional[tuple] = None
         self._plan_cache: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
         #: number of full (uncached) ordering-phase runs; tests and the
         #: parallel engine assert "prepare ran exactly once" against it.
@@ -358,6 +383,13 @@ class CFLMatch:
             cpi, forest_order, already_mapped=core_order, check_non_tree=False
         )
         leaf_plan = build_leaf_plan(cpi, leaf_vertices)
+        kernel: Optional[KernelPlan] = None
+        if self.engine == "kernel":
+            # Compile inside the ordering timer: lowering the plan to
+            # flat arrays is part of the preparation cost being measured.
+            kernel = compile_kernel_plan(
+                cpi, core_slots, forest_slots, data_csr=self._kernel_data_csr()
+            )
         now = time.perf_counter()
         phase_times["ordering"] = now - ordering_started
         ordering_time = now - started
@@ -374,6 +406,65 @@ class CFLMatch:
             ordering_time=ordering_time,
             phase_times=phase_times,
             build_stats=build_stats,
+            kernel=kernel,
+        )
+
+    def _kernel_data_csr(self) -> tuple:
+        """Lazily built data-graph CSR shared by every compiled plan."""
+        csr = self._data_csr
+        if csr is None:
+            csr = build_data_csr(self.data)
+            self._data_csr = csr
+        return csr
+
+    def _ensure_kernel(self, plan: PreparedQuery) -> KernelPlan:
+        """The plan's compiled form, compiling on first use.
+
+        Plans assembled by this matcher under ``engine="kernel"`` arrive
+        precompiled; plans built elsewhere (the reference engine, or a
+        CPI decoded from the wire in a worker before this matcher was
+        switched to the kernel) are compiled here once and the result is
+        memoized on the plan.
+        """
+        kernel = plan.kernel
+        if kernel is None:
+            kernel = compile_kernel_plan(
+                plan.cpi, plan.core_slots, plan.forest_slots,
+                data_csr=self._kernel_data_csr(),
+            )
+            plan.kernel = kernel
+        return kernel
+
+    def _backtrackers(
+        self,
+        plan: PreparedQuery,
+        core_stats: SearchStats,
+        forest_stats: SearchStats,
+        deadline: Optional[float],
+        budget: Optional[WorkBudget],
+    ) -> tuple:
+        """Core and forest backtrackers for the configured engine."""
+        if self.engine == "kernel":
+            compiled = self._ensure_kernel(plan)
+            return (
+                KernelBacktracker(
+                    compiled, compiled.core, core_stats,
+                    deadline=deadline, budget=budget,
+                ),
+                KernelBacktracker(
+                    compiled, compiled.forest, forest_stats,
+                    deadline=deadline, budget=budget,
+                ),
+            )
+        return (
+            CPIBacktracker(
+                plan.cpi, plan.core_slots, core_stats,
+                deadline=deadline, budget=budget,
+            ),
+            CPIBacktracker(
+                plan.cpi, plan.forest_slots, forest_stats,
+                deadline=deadline, budget=budget,
+            ),
         )
 
     def _build_cpi(
@@ -473,11 +564,8 @@ class CFLMatch:
             core_stats = forest_stats = leaf_stats = stats
         mapping = [-1] * query.num_vertices
         used = bytearray(self.data.num_vertices)
-        core_bt = CPIBacktracker(
-            plan.cpi, plan.core_slots, core_stats, deadline=deadline, budget=budget
-        )
-        forest_bt = CPIBacktracker(
-            plan.cpi, plan.forest_slots, forest_stats, deadline=deadline, budget=budget
+        core_bt, forest_bt = self._backtrackers(
+            plan, core_stats, forest_stats, deadline, budget
         )
         emitted = 0
         for _ in core_bt.extend(mapping, used):
@@ -504,6 +592,12 @@ class CFLMatch:
         enough that the parallel engine restricts per root candidate.
         """
         restricted = plan.cpi.with_root_candidates(filtered)
+        kernel: Optional[KernelPlan] = None
+        if self.engine == "kernel":
+            # Restrict the compiled form too (compiling first if the plan
+            # arrived without one); ranks stay keyed to the original
+            # candidate list so shared CSR rows remain valid.
+            kernel = self._ensure_kernel(plan).with_root_candidates(filtered)
         return PreparedQuery(
             query=plan.query,
             decomposition=plan.decomposition,
@@ -517,6 +611,7 @@ class CFLMatch:
             ordering_time=plan.ordering_time,
             phase_times=plan.phase_times,
             build_stats=plan.build_stats,
+            kernel=kernel,
         )
 
     def count(
@@ -557,11 +652,8 @@ class CFLMatch:
             core_stats = forest_stats = leaf_stats = stats
         mapping = [-1] * query.num_vertices
         used = bytearray(self.data.num_vertices)
-        core_bt = CPIBacktracker(
-            plan.cpi, plan.core_slots, core_stats, deadline=deadline, budget=budget
-        )
-        forest_bt = CPIBacktracker(
-            plan.cpi, plan.forest_slots, forest_stats, deadline=deadline, budget=budget
+        core_bt, forest_bt = self._backtrackers(
+            plan, core_stats, forest_stats, deadline, budget
         )
         total = 0
         for _ in core_bt.extend(mapping, used):

@@ -76,7 +76,15 @@ def _default_workers() -> int:
 # ----------------------------------------------------------------------
 def encode_plan(plan: PreparedQuery) -> Dict[str, Any]:
     """JSON-safe wire form of a prepared plan: the compiled CPI plus the
-    matching orders (so the receiver skips the ordering DP too)."""
+    matching orders (so the receiver skips the ordering DP too).
+
+    The flat-array kernel compilation is deliberately *not* shipped: it
+    is a pure function of the CPI + orders, so :func:`decode_plan`'s
+    ``prepare_from_cpi`` recompiles it worker-side (once per worker, the
+    data-graph CSR cached on the worker's matcher) rather than paying to
+    pickle megabytes of redundant arrays.  Fork-start workers never hit
+    this path at all — they inherit the parent plan's compiled kernel
+    copy-on-write."""
     return {
         "cpi": CompiledCPI.from_cpi(plan.cpi).to_dict(),
         "core_order": list(plan.core_order),

@@ -27,7 +27,7 @@ from .matcher import CFLMatch, MatchReport, PreparedQuery
 from .parallel import parallel_run
 from .stats import SearchStats, cpi_level_totals, empty_phase_times, monotonic_now
 
-PROFILE_SCHEMA_VERSION = 1
+PROFILE_SCHEMA_VERSION = 2
 
 #: JSON Schema (draft-07 subset) for ``profile_query`` output.  Kept in
 #: lock-step with ``docs/profile.schema.json`` (a test asserts equality).
@@ -57,10 +57,14 @@ PROFILE_SCHEMA: Dict[str, Any] = {
         "run": {
             "type": "object",
             "additionalProperties": False,
-            "required": ["workers", "count_only"],
+            "required": ["workers", "count_only", "engine"],
             "properties": {
                 "workers": {"type": "integer", "minimum": 1},
                 "count_only": {"type": "boolean"},
+                "engine": {
+                    "type": "string",
+                    "enum": ["kernel", "reference"],
+                },
                 "limit": {"type": ["integer", "null"]},
                 "max_expansions": {"type": ["integer", "null"]},
                 "time_limit_s": {"type": ["number", "null"]},
@@ -263,6 +267,7 @@ def build_profile(
     limit: Optional[int],
     max_expansions: Optional[int],
     time_limit_s: Optional[float],
+    engine: str = "kernel",
 ) -> Dict[str, Any]:
     """Assemble the schema-shaped profile dict from a finished run."""
     counters = report.counters()
@@ -278,6 +283,7 @@ def build_profile(
         "run": {
             "workers": workers,
             "count_only": count_only,
+            "engine": engine,
             "limit": limit,
             "max_expansions": max_expansions,
             "time_limit_s": time_limit_s,
@@ -377,5 +383,5 @@ def profile_query(
             )
     return build_profile(
         data, query, report, plan, workers, count_only, limit,
-        max_expansions, time_limit_s,
+        max_expansions, time_limit_s, engine=matcher.engine,
     )

@@ -155,6 +155,7 @@ RULE = register(
         ),
         paths=(
             "src/repro/core/core_match.py",
+            "src/repro/core/kernel.py",
             "src/repro/core/leaf_match.py",
             "src/repro/core/ordering.py",
             "src/repro/core/root_selection.py",

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import build_cpi
-from repro.core.cpi import QueryBFSTree
+from repro.core.cpi import EMPTY_CANDIDATES, QueryBFSTree
 from repro.graph import Graph, GraphError
 from repro.workloads.paper_graphs import figure5_example, figure7_example
 
@@ -115,7 +115,7 @@ class TestCPIStructure:
     def test_child_candidates_missing_parent(self):
         ex = figure5_example()
         cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
-        assert cpi.child_candidates(ex.q("u1"), 999) == []
+        assert cpi.child_candidates(ex.q("u1"), 999) is EMPTY_CANDIDATES
 
     def test_repr(self):
         ex = figure5_example()

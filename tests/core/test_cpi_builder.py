@@ -62,7 +62,7 @@ class TestExample52BottomUp:
     def test_pruned_parents_lose_adjacency_lists(self):
         ex = figure7_example()
         cpi = build_cpi(ex.query, ex.data, ex.q("u0"))
-        assert cpi.child_candidates(ex.q("u1"), ex.v("v2")) == []
+        assert cpi.child_candidates(ex.q("u1"), ex.v("v2")) == ()
 
     def test_refinement_only_shrinks(self):
         ex = figure7_example()
