@@ -3,6 +3,8 @@
 Examples::
 
     cfl-match match --data graph.txt --query query.txt --limit 10
+    cfl-match ingest graph.txt graph.csr
+    cfl-match count --data graph.csr --query query.txt --workers 4
     cfl-match experiment fig08 --profile smoke
     cfl-match experiment all --profile small --out results/
     cfl-match datasets
@@ -78,6 +80,14 @@ def _cmd_count(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - started
     suffix = "+" if args.limit is not None and total >= args.limit else ""
     print(f"{total}{suffix} embedding(s) in {1000 * elapsed:.1f} ms")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .graph.ingest import ingest_graph
+
+    report = ingest_graph(args.source, args.out)
+    print(report.render())
     return 0
 
 
@@ -284,6 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
              "or the reference backtracker",
     )
     p_count.set_defaults(func=_cmd_count)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="serialize a data graph to the binary CSR layout (mmap-loadable "
+             "by every --data flag; same byte layout as the shared-memory "
+             "graph store)",
+    )
+    p_ingest.add_argument("source", help="input graph file (t/v/e format)")
+    p_ingest.add_argument("out", help="output .csr file")
+    p_ingest.set_defaults(func=_cmd_ingest)
 
     p_explain = sub.add_parser("explain", help="show the matching plan for a query")
     p_explain.add_argument("--data", required=True)

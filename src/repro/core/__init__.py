@@ -71,6 +71,14 @@ from .profile import (
     validate_schema,
 )
 from .root_selection import select_root
+from .shm import (
+    PlanSegment,
+    SharedGraph,
+    SharedGraphStore,
+    attach_graph_store,
+    attach_plan_segment,
+    open_graph_file,
+)
 from .stats import (
     BudgetExhausted,
     WorkBudget,
@@ -152,6 +160,12 @@ __all__ = [
     "validate_profile",
     "validate_schema",
     "select_root",
+    "PlanSegment",
+    "SharedGraph",
+    "SharedGraphStore",
+    "attach_graph_store",
+    "attach_plan_segment",
+    "open_graph_file",
     "BudgetExhausted",
     "WorkBudget",
     "aggregate_stage_stats",

@@ -126,12 +126,16 @@ class CPI:
 
     __slots__ = ("tree", "data", "candidates", "cand_sets", "adjacency")
 
+    # Rows are annotated read-only (Sequence) because a CPI decoded from
+    # a shared plan segment (repro.core.shm) stores them as memoryview
+    # slices of the segment; the builders pass plain lists.  Either way
+    # a published CPI is immutable (repro-lint R003).
     def __init__(
         self,
         tree: QueryBFSTree,
         data: Graph,
-        candidates: List[List[int]],
-        adjacency: List[Dict[int, List[int]]],
+        candidates: List[Sequence[int]],
+        adjacency: List[Dict[int, Sequence[int]]],
     ) -> None:
         self.tree = tree
         self.data = data

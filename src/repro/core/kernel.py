@@ -62,6 +62,7 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_left
 from typing import (
+    AbstractSet,
     Dict,
     FrozenSet,
     Iterable,
@@ -69,8 +70,8 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
+    Union,
 )
 
 from ..graph.graph import Graph
@@ -80,12 +81,19 @@ from .stats import SearchStats, WorkBudget, monotonic_now
 
 __all__ = [
     "CompiledStage",
+    "IntVector",
     "KernelBacktracker",
     "KernelPlan",
     "build_data_csr",
     "compile_kernel_plan",
     "compile_stage",
 ]
+
+#: A sorted int32 vector the kernel can bisect and slice: a plain
+#: ``array('i')`` (in-process compilation) or a zero-copy ``memoryview``
+#: over a shared segment (:mod:`repro.core.shm`).  Both support the only
+#: operations the hot loops use — ``len``, indexing, slicing, iteration.
+IntVector = Union["array[int]", memoryview]
 
 #: Slot candidate-source modes.  ``MODE_ROOT``: candidates come straight
 #: from ``candidates[u]`` (no anchored adjacency list).  ``MODE_TREE``:
@@ -128,14 +136,22 @@ _EMPTY_RANKS: Dict[int, int] = {}
 _NO_CHECKS: List[int] = []
 
 
-def build_data_csr(data: Graph) -> Tuple[array[int], array[int]]:
-    """Data-graph adjacency as one CSR pair of int32 arrays.
+def build_data_csr(data: Graph) -> Tuple[IntVector, IntVector]:
+    """Data-graph adjacency as one CSR pair of int32 vectors.
 
     Rows keep :class:`~repro.graph.graph.Graph`'s sorted-neighbor order,
     so ``adj_flat[adj_indptr[v]:adj_indptr[v+1]]`` is a sorted array and
     membership is a ``bisect``.  Built once per data graph and shared by
-    every compiled plan (see ``CFLMatch._kernel_data_csr``).
+    every compiled plan (see ``CFLMatch._kernel_data_csr``).  A graph
+    whose storage already *is* this CSR — a
+    :class:`~repro.core.shm.SharedGraph` over a shared segment or an
+    mmap'd ingest file — hands back its views instead: the per-worker
+    build becomes a pointer handoff.
     """
+    shared = getattr(data, "shared_data_csr", None)
+    if shared is not None:
+        indptr_view, flat_view = shared()
+        return indptr_view, flat_view
     indptr = array("i", [0])
     flat = array("i")
     for row in data.adj:
@@ -177,12 +193,12 @@ class CompiledStage:
         modes: Tuple[int, ...],
         parent_depths: Tuple[int, ...],
         parent_vertices: Tuple[int, ...],
-        base_v: Tuple[array[int], ...],
-        base_r: Tuple[array[int], ...],
-        indptrs: Tuple[array[int], ...],
-        flat_v: Tuple[array[int], ...],
-        flat_r: Tuple[array[int], ...],
-        cross_rows: Tuple[Dict[int, Tuple[array[int], array[int]]], ...],
+        base_v: Tuple[IntVector, ...],
+        base_r: Tuple[IntVector, ...],
+        indptrs: Tuple[IntVector, ...],
+        flat_v: Tuple[IntVector, ...],
+        flat_r: Tuple[IntVector, ...],
+        cross_rows: Tuple[Dict[int, Tuple[IntVector, IntVector]], ...],
         backward: Tuple[Tuple[int, ...], ...],
         set_rows: Tuple[Dict[int, FrozenSet[int]], ...],
         rank_of: Tuple[Dict[int, int], ...],
@@ -210,14 +226,14 @@ class CompiledStage:
         self.rank_of = rank_of
 
     def with_base(
-        self, depth: int, vertices: array[int], ranks: array[int]
+        self, depth: int, vertices: IntVector, ranks: IntVector
     ) -> "CompiledStage":
         """Copy of this stage with slot ``depth``'s base arrays replaced
         (the root-restriction path); everything else is shared."""
 
         def swap(
-            rows: Tuple[array[int], ...], value: array[int]
-        ) -> Tuple[array[int], ...]:
+            rows: Tuple[IntVector, ...], value: IntVector
+        ) -> Tuple[IntVector, ...]:
             return rows[:depth] + (value,) + rows[depth + 1:]
 
         return CompiledStage(
@@ -366,9 +382,9 @@ class KernelPlan:
         core: CompiledStage,
         forest: CompiledStage,
         root: int,
-        adj_indptr: array[int],
-        adj_flat: array[int],
-        adj_sets: List[Set[int]],
+        adj_indptr: IntVector,
+        adj_flat: IntVector,
+        adj_sets: Sequence[AbstractSet[int]],
     ) -> None:
         self.core = core
         self.forest = forest
@@ -452,7 +468,7 @@ def _intersect(
     base_r: Sequence[int],
     begin: int,
     stop: int,
-    adj: array[int],
+    adj: IntVector,
     bounds: List[Tuple[int, int]],
     want_ranks: bool,
 ) -> Tuple[Sequence[int], Sequence[int]]:

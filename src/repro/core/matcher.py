@@ -306,19 +306,27 @@ class CFLMatch:
         cpi: CPI,
         core_order: Optional[List[int]] = None,
         forest_order: Optional[List[int]] = None,
+        kernel_plan: Optional[KernelPlan] = None,
+        segment_attach: float = 0.0,
     ) -> PreparedQuery:
         """Rebuild a :class:`PreparedQuery` around a prebuilt CPI.
 
         This is the cheap re-preparation path for plans shipped across
         process boundaries (a :class:`~repro.core.cpi_storage.CompiledCPI`
-        decoded in a spawn worker): Algorithms 3+4 are *not* re-run, and
-        when the parent also ships its ``core_order``/``forest_order``
-        the Algorithm 2 DP is skipped too — only query-sized metadata
-        (decomposition, slots, leaf plan) is recomputed.
+        decoded in a spawn worker, or a :mod:`repro.core.shm` plan
+        segment): Algorithms 3+4 are *not* re-run, and when the parent
+        also ships its ``core_order``/``forest_order`` the Algorithm 2
+        DP is skipped too — only query-sized metadata (decomposition,
+        slots, leaf plan) is recomputed.  ``kernel_plan`` injects an
+        already-compiled kernel (views over a shared plan segment) so
+        the flat-array compilation is skipped as well; ``segment_attach``
+        records the wall time the caller spent attaching + decoding the
+        segment into the plan's phase timers.
         """
         if query.num_vertices == 0:
             raise GraphError("empty query")
         phase_times = empty_phase_times()
+        phase_times["segment_attach"] = segment_attach
         started = time.perf_counter()
         decomposition = cfl_decompose(
             query,
@@ -334,6 +342,7 @@ class CFLMatch:
             query, decomposition, cpi.root, cpi, started,
             core_order=core_order, forest_order=forest_order,
             phase_times=phase_times, build_stats=build_stats,
+            kernel_plan=kernel_plan,
         )
 
     def _assemble_plan(
@@ -347,6 +356,7 @@ class CFLMatch:
         forest_order: Optional[List[int]] = None,
         phase_times: Optional[Dict[str, float]] = None,
         build_stats: Optional[SearchStats] = None,
+        kernel_plan: Optional[KernelPlan] = None,
     ) -> PreparedQuery:
         if phase_times is None:
             phase_times = empty_phase_times()
@@ -383,10 +393,12 @@ class CFLMatch:
             cpi, forest_order, already_mapped=core_order, check_non_tree=False
         )
         leaf_plan = build_leaf_plan(cpi, leaf_vertices)
-        kernel: Optional[KernelPlan] = None
-        if self.engine == "kernel":
+        kernel: Optional[KernelPlan] = kernel_plan
+        if kernel is None and self.engine == "kernel":
             # Compile inside the ordering timer: lowering the plan to
             # flat arrays is part of the preparation cost being measured.
+            # (A kernel decoded from a shared plan segment arrives via
+            # ``kernel_plan`` and skips this entirely.)
             kernel = compile_kernel_plan(
                 cpi, core_slots, forest_slots, data_csr=self._kernel_data_csr()
             )

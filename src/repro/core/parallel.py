@@ -12,12 +12,15 @@ is the expensive part, so enumeration is what gets parallelized:
 * **fork** start method (the default where available): workers inherit
   the parent's :class:`~repro.core.matcher.PreparedQuery` copy-on-write;
   nothing is rebuilt, pickled or shipped.
-* **spawn** start method: the plan travels as its
-  :class:`~repro.core.cpi_storage.CompiledCPI` wire form
-  (``to_dict``/``from_dict``) plus the precomputed matching orders; each
-  worker reconstructs the plan once via
-  :meth:`CFLMatch.prepare_from_cpi` without re-running Algorithms 3+4
-  or the Algorithm 2 ordering DP.
+* **spawn** start method: the data graph lives in a
+  :class:`~repro.core.shm.SharedGraphStore` (one shared-memory segment
+  per host; workers attach by name, zero copies) and the plan travels
+  as a :class:`~repro.core.shm.PlanSegment` — the compiled kernel
+  stages as contiguous int32 sections the worker consumes as
+  ``memoryview`` slices without reconstruction.  Only query-sized
+  metadata is rebuilt worker-side; nothing graph- or plan-sized is
+  pickled.  (:func:`encode_plan`/:func:`decode_plan` remain as the
+  JSON-safe diagnostic wire format.)
 
 Workers restrict the shared plan through the O(|V(q)|)-cheap
 ``with_root_candidates`` path instead of rebuilding the CPI per chunk.
@@ -32,14 +35,17 @@ a global ``limit`` has been reached.
 Three entry points serve one-shot calls; :class:`MatcherPool` keeps a
 persistent worker pool alive to serve many queries over one data graph
 without re-forking (repeated queries additionally hit the parent-side
-LRU plan cache and skip ``prepare()`` entirely).
+LRU plan cache and skip ``prepare()`` entirely).  Pool workers attach
+the data graph by shared-memory handle and resolve each query's plan
+segment by name; segment lifecycle (create/attach/close/unlink) is
+threaded through dispatcher cancellation and pool shutdown so no
+``/dev/shm`` entry outlives its pool.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
 import queue as _queue_mod
 from collections import OrderedDict
 from heapq import heapify, heappop, heappush
@@ -49,6 +55,14 @@ from ..graph.graph import Graph
 from .cost_model import estimate_root_costs
 from .cpi_storage import CompiledCPI
 from .matcher import CFLMatch, MatchReport, PreparedQuery
+from .shm import (
+    GraphHandle,
+    PlanSegment,
+    SharedGraph,
+    SharedGraphStore,
+    attach_graph_store,
+    attach_plan_segment,
+)
 from .stats import SearchStats, aggregate_stage_stats, monotonic_now
 
 __all__ = [
@@ -77,6 +91,11 @@ def _default_workers() -> int:
 def encode_plan(plan: PreparedQuery) -> Dict[str, Any]:
     """JSON-safe wire form of a prepared plan: the compiled CPI plus the
     matching orders (so the receiver skips the ordering DP too).
+
+    The runtime no longer ships this across process boundaries — plans
+    travel as :class:`~repro.core.shm.PlanSegment` flat buffers — but it
+    remains the diagnostic/serialization format (and the reference the
+    differential tests compare the segment decode against).
 
     The flat-array kernel compilation is deliberately *not* shipped: it
     is a pure function of the CPI + orders, so :func:`decode_plan`'s
@@ -173,38 +192,61 @@ def _init_oneshot_fork(matcher: CFLMatch, plan: PreparedQuery, cancel) -> None:
     _WORKER.update(matcher=matcher, plan=plan, cancel=cancel)
 
 
-def _init_oneshot_spawn(
-    data: Graph, query: Graph, matcher_kwargs: dict, wire: Dict[str, Any], cancel
+def _init_oneshot_shared(
+    handle: GraphHandle, matcher_kwargs: dict, plan_name: str, cancel
 ) -> None:
-    matcher = CFLMatch(data, **matcher_kwargs)
-    plan = decode_plan(matcher, query, wire)
-    _WORKER.clear()
-    _WORKER.update(matcher=matcher, plan=plan, cancel=cancel)
-
-
-def _init_pool_worker(data: Graph, matcher_kwargs: dict, cancel) -> None:
+    """Spawn-context one-shot initializer: attach the shared graph store
+    and the plan segment *by name* — nothing graph- or plan-sized is
+    pickled into the worker.  The store and segment objects are parked
+    in ``_WORKER`` so their mappings outlive the initializer (the plan's
+    memoryview sections point straight into them)."""
+    store = attach_graph_store(handle)
+    matcher = CFLMatch(store.graph, **matcher_kwargs)
+    plan, segment = attach_plan_segment(matcher, plan_name)
     _WORKER.clear()
     _WORKER.update(
-        matcher=CFLMatch(data, **matcher_kwargs),
+        matcher=matcher, plan=plan, cancel=cancel, store=store, segment=segment
+    )
+
+
+def _init_pool_worker(handle: GraphHandle, matcher_kwargs: dict, cancel) -> None:
+    """Persistent-pool initializer: attach the data graph through its
+    shared-memory (or mmap-file) handle; plans arrive later, per task,
+    as named segments resolved by :func:`_resolve_pool_plan`."""
+    store = attach_graph_store(handle)
+    _WORKER.clear()
+    _WORKER.update(
+        matcher=CFLMatch(store.graph, **matcher_kwargs),
         cancel=cancel,
+        store=store,
         plans=OrderedDict(),
     )
 
 
-def _resolve_pool_plan(key: int, blob: bytes) -> PreparedQuery:
-    """Decode (at most once per worker per query) a plan shipped with a
-    persistent-pool task; cache keyed by the pool's plan epoch."""
-    plans: "OrderedDict[int, PreparedQuery]" = _WORKER["plans"]
-    plan = plans.get(key)
-    if plan is None:
-        payload = pickle.loads(blob)
-        query = Graph(payload["labels"], payload["edges"])
-        plan = decode_plan(_WORKER["matcher"], query, payload["wire"])
-        plans[key] = plan
-        while len(plans) > _PLAN_CACHE_CAPACITY:
-            plans.popitem(last=False)
-    else:
+def _resolve_pool_plan(key: int, name: str) -> Optional[PreparedQuery]:
+    """Attach and decode (at most once per worker per plan epoch) the
+    plan segment named in a persistent-pool task; cache keyed by the
+    pool's plan epoch so a re-prepared query gets a fresh attach.
+
+    Returns ``None`` when the segment is already unlinked *and* the
+    cluster is cancelling — the pool-shutdown race, not an error; the
+    task then reports an empty result instead of crashing the worker."""
+    plans: "OrderedDict[int, Tuple[PreparedQuery, PlanSegment]]" = _WORKER["plans"]
+    entry = plans.get(key)
+    if entry is not None:
         plans.move_to_end(key)
+        return entry[0]
+    try:
+        plan, segment = attach_plan_segment(_WORKER["matcher"], name)
+    except FileNotFoundError:
+        cancel = _WORKER["cancel"]
+        if cancel is not None and cancel.is_set():
+            return None
+        raise
+    plans[key] = (plan, segment)
+    while len(plans) > _PLAN_CACHE_CAPACITY:
+        _, evicted = plans.popitem(last=False)
+        evicted[1].close()
     return plan
 
 
@@ -295,18 +337,22 @@ def _oneshot_search_task(
 
 
 def _pool_count_task(
-    args: Tuple[int, bytes, List[int], Optional[int]]
+    args: Tuple[int, str, List[int], Optional[int]]
 ) -> Tuple[int, Dict[str, int]]:
-    key, blob, roots, budget = args
-    plan = _resolve_pool_plan(key, blob)
+    key, name, roots, budget = args
+    plan = _resolve_pool_plan(key, name)
+    if plan is None:
+        return 0, SearchStats().to_dict()
     return _count_roots(_WORKER["matcher"], plan, roots, budget, _WORKER["cancel"])
 
 
 def _pool_search_task(
-    args: Tuple[int, bytes, List[int], Optional[int]]
+    args: Tuple[int, str, List[int], Optional[int]]
 ) -> Tuple[List[Tuple[int, ...]], Dict[str, int]]:
-    key, blob, roots, budget = args
-    plan = _resolve_pool_plan(key, blob)
+    key, name, roots, budget = args
+    plan = _resolve_pool_plan(key, name)
+    if plan is None:
+        return [], SearchStats().to_dict()
     return _search_roots(_WORKER["matcher"], plan, roots, budget, _WORKER["cancel"])
 
 
@@ -386,25 +432,61 @@ def _oneshot_setup(
     return matcher, plan, roots
 
 
+def _shared_store(
+    data: Graph,
+) -> Tuple[GraphHandle, Optional[SharedGraphStore]]:
+    """A handle workers can attach ``data`` through.  Creates a segment
+    only when the graph is not already shared; a created store is the
+    caller's to unlink (the second element, ``None`` when reused)."""
+    if isinstance(data, SharedGraph):
+        return data.worker_handle(), None
+    store = SharedGraphStore.create(data)
+    return store.worker_handle(), store
+
+
 def _oneshot_pool(
     ctx,
     method: str,
     workers: int,
     matcher: CFLMatch,
     plan: PreparedQuery,
-    query: Graph,
     matcher_kwargs: dict,
     cancel,
 ):
+    """Build the one-shot worker pool; returns ``(pool, release)``.
+
+    ``release()`` unlinks every shared segment the pool was built on —
+    call it after the pool has been terminated and joined, on every
+    exit path (the dispatchers run it in ``finally``).  The fork path
+    shares the parent's plan copy-on-write and has nothing to release.
+    """
     if method == "fork":
-        return ctx.Pool(
+        pool = ctx.Pool(
             workers, initializer=_init_oneshot_fork,
             initargs=(matcher, plan, cancel),
         )
-    return ctx.Pool(
-        workers, initializer=_init_oneshot_spawn,
-        initargs=(matcher.data, query, matcher_kwargs, encode_plan(plan), cancel),
-    )
+        return pool, (lambda: None)
+    handle, store = _shared_store(matcher.data)
+    segment: Optional[PlanSegment] = None
+
+    def release() -> None:
+        if segment is not None:
+            segment.unlink()
+            segment.close()
+        if store is not None:
+            store.unlink()
+            store.close()
+
+    try:
+        segment = PlanSegment.create(plan)
+        pool = ctx.Pool(
+            workers, initializer=_init_oneshot_shared,
+            initargs=(handle, matcher_kwargs, segment.name, cancel),
+        )
+    except BaseException:
+        release()
+        raise
+    return pool, release
 
 
 def _sequential_count(
@@ -457,18 +539,23 @@ def parallel_count(
     method = start_method or _default_start_method()
     ctx = multiprocessing.get_context(method)
     cancel = ctx.Event()
-    with _oneshot_pool(
-        ctx, method, workers, matcher, plan, query, matcher_kwargs, cancel
-    ) as pool:
-        total = 0
-        max_inflight = workers if limit is not None else len(chunks)
-        for part, chunk_stats in _dispatch(
-            pool, _oneshot_count_task, lambda c, b: (c, b), chunks,
-            limit, cancel, lambda value: value[0], max_inflight,
-        ):
-            total += part
-            if stats is not None:
-                stats.merge(SearchStats.from_dict(chunk_stats))
+    pool, release = _oneshot_pool(
+        ctx, method, workers, matcher, plan, matcher_kwargs, cancel
+    )
+    try:
+        with pool:
+            total = 0
+            max_inflight = workers if limit is not None else len(chunks)
+            for part, chunk_stats in _dispatch(
+                pool, _oneshot_count_task, lambda c, b: (c, b), chunks,
+                limit, cancel, lambda value: value[0], max_inflight,
+            ):
+                total += part
+                if stats is not None:
+                    stats.merge(SearchStats.from_dict(chunk_stats))
+        pool.join()
+    finally:
+        release()
     if limit is not None:
         return min(total, limit)
     return total
@@ -513,8 +600,8 @@ def parallel_search_iter(
     method = start_method or _default_start_method()
     ctx = multiprocessing.get_context(method)
     cancel = ctx.Event()
-    pool = _oneshot_pool(
-        ctx, method, workers, matcher, plan, query, matcher_kwargs, cancel
+    pool, release = _oneshot_pool(
+        ctx, method, workers, matcher, plan, matcher_kwargs, cancel
     )
     try:
         emitted = 0
@@ -534,6 +621,7 @@ def parallel_search_iter(
         cancel.set()
         pool.terminate()
         pool.join()
+        release()
 
 
 def parallel_search(
@@ -624,24 +712,29 @@ def parallel_run(
             (lambda value: value[0]) if count_only
             else (lambda value: len(value[0]))
         )
-        with _oneshot_pool(
-            ctx, method, workers, matcher, plan, query, matcher_kwargs, cancel
-        ) as pool:
-            max_inflight = workers if limit is not None else len(chunks)
-            for part, chunk_stats in _dispatch(
-                pool, task, lambda c, b: (c, b), chunks,
-                limit, cancel, measure, max_inflight,
-            ):
-                stats.merge(SearchStats.from_dict(chunk_stats))
-                if count_only:
-                    found += part
-                else:
-                    for embedding in part:
-                        if limit is not None and found >= limit:
-                            break
-                        found += 1
-                        if results is not None:
-                            results.append(embedding)
+        pool, release = _oneshot_pool(
+            ctx, method, workers, matcher, plan, matcher_kwargs, cancel
+        )
+        try:
+            with pool:
+                max_inflight = workers if limit is not None else len(chunks)
+                for part, chunk_stats in _dispatch(
+                    pool, task, lambda c, b: (c, b), chunks,
+                    limit, cancel, measure, max_inflight,
+                ):
+                    stats.merge(SearchStats.from_dict(chunk_stats))
+                    if count_only:
+                        found += part
+                    else:
+                        for embedding in part:
+                            if limit is not None and found >= limit:
+                                break
+                            found += 1
+                            if results is not None:
+                                results.append(embedding)
+            pool.join()
+        finally:
+            release()
         if limit is not None:
             found = min(found, limit)
     enumeration_time = monotonic_now() - started
@@ -680,12 +773,19 @@ class MatcherPool:
             for embedding in pool.search_iter(query_b, limit=100):
                 ...
 
+    The data graph is laid into a :class:`~repro.core.shm.SharedGraphStore`
+    once per pool (reused as-is when ``data`` is already a
+    :class:`~repro.core.shm.SharedGraph`, e.g. loaded from a
+    ``cfl-match ingest`` file); every worker attaches it by handle, so
+    the graph is materialized once per host no matter the start method.
     Per query, the parent prepares the plan once (repeated queries hit
-    the :class:`CFLMatch` LRU plan cache and skip even that), pickles
-    its wire form a single time, and ships it alongside each chunk;
-    workers decode it at most once each and keep a small plan LRU, so a
-    hot query costs the workers no preparation at all.  Not thread-safe:
-    run one query at a time per pool.
+    the :class:`CFLMatch` LRU plan cache and skip even that), encodes it
+    into a shared :class:`~repro.core.shm.PlanSegment` a single time,
+    and ships only ``(epoch key, segment name)`` alongside each chunk;
+    workers attach and decode it at most once each and keep a small
+    plan LRU, so a hot query costs the workers no preparation at all.
+    :meth:`close` unlinks every segment the pool created.  Not
+    thread-safe: run one query at a time per pool.
     """
 
     def __init__(
@@ -700,20 +800,33 @@ class MatcherPool:
         self.data = data
         self.workers = workers if workers is not None else _default_workers()
         self.tasks_per_worker = tasks_per_worker
+        handle, store = _shared_store(data)
+        #: the pool-created store (``None`` when ``data`` was already
+        #: shared); unlinked by :meth:`close`
+        self._store = store
         self.matcher = CFLMatch(
-            data, plan_cache_size=plan_cache_size, **matcher_kwargs
+            store.graph if store is not None else data,
+            plan_cache_size=plan_cache_size, **matcher_kwargs,
         )
         self.start_method = start_method or _default_start_method()
         self._ctx = multiprocessing.get_context(self.start_method)
         self._cancel = self._ctx.Event()
-        self._pool = self._ctx.Pool(
-            max(self.workers, 1),
-            initializer=_init_pool_worker,
-            initargs=(data, matcher_kwargs, self._cancel),
-        )
+        try:
+            self._pool = self._ctx.Pool(
+                max(self.workers, 1),
+                initializer=_init_pool_worker,
+                initargs=(handle, matcher_kwargs, self._cancel),
+            )
+        except BaseException:
+            if store is not None:
+                store.unlink()
+                store.close()
+            raise
         self._closed = False
-        # plan epoch bookkeeping: signature -> (key, pickled wire blob)
-        self._plan_blobs: "OrderedDict[tuple, Tuple[int, bytes]]" = OrderedDict()
+        # plan epoch bookkeeping: signature -> (key, shared plan segment)
+        self._plan_segments: "OrderedDict[tuple, Tuple[int, PlanSegment]]" = (
+            OrderedDict()
+        )
         self._next_key = 0
         #: enumeration counters aggregated over every query this pool has
         #: served (worker chunks and sequential fallbacks alike)
@@ -727,38 +840,50 @@ class MatcherPool:
         self.close()
 
     def close(self) -> None:
-        """Terminate the workers; the pool cannot be used afterwards."""
+        """Terminate the workers and unlink every shared segment this
+        pool created; the pool cannot be used afterwards."""
         if not self._closed:
             self._closed = True
             self._cancel.set()
             self._pool.terminate()
             self._pool.join()
+            self._release_segments()
+
+    def _release_segments(self) -> None:
+        while self._plan_segments:
+            _, (_, segment) = self._plan_segments.popitem(last=False)
+            segment.unlink()
+            segment.close()
+        if self._store is not None:
+            self._store.unlink()
+            self._store.close()
+            self._store = None
 
     # -- internals -----------------------------------------------------
     def _require_open(self) -> None:
         if self._closed:
             raise RuntimeError("MatcherPool is closed")
 
-    def _plan_blob(self, query: Graph, plan: PreparedQuery) -> Tuple[int, bytes]:
-        """Pickle the plan wire form once per distinct query (LRU-kept in
-        lock-step with the matcher's plan cache capacity)."""
+    def _plan_segment(self, query: Graph, plan: PreparedQuery) -> Tuple[int, str]:
+        """Encode the plan into a shared segment once per distinct query
+        (LRU-kept in lock-step with the matcher's plan cache capacity;
+        evicted segments are unlinked — attached workers keep their live
+        mappings, POSIX semantics)."""
         signature = query.signature()
-        entry = self._plan_blobs.get(signature)
+        entry = self._plan_segments.get(signature)
         if entry is not None:
-            self._plan_blobs.move_to_end(signature)
-            return entry
-        payload = {
-            "labels": list(query.labels),
-            "edges": list(query.edges()),
-            "wire": encode_plan(plan),
-        }
-        entry = (self._next_key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            self._plan_segments.move_to_end(signature)
+            return entry[0], entry[1].name
+        key = self._next_key
         self._next_key += 1
-        self._plan_blobs[signature] = entry
+        segment = PlanSegment.create(plan)
+        self._plan_segments[signature] = (key, segment)
         capacity = max(self.matcher.plan_cache_size, 1)
-        while len(self._plan_blobs) > capacity:
-            self._plan_blobs.popitem(last=False)
-        return entry
+        while len(self._plan_segments) > capacity:
+            _, (_, evicted) = self._plan_segments.popitem(last=False)
+            evicted.unlink()
+            evicted.close()
+        return key, segment.name
 
     def _start_query(self, query: Graph):
         """Shared per-query setup; returns (plan, chunks-or-None)."""
@@ -811,11 +936,11 @@ class MatcherPool:
             aggregate_stage_stats(stage_stats, into=local)
             self._absorb(local.to_dict(), stats)
             return total
-        key, blob = self._plan_blob(query, plan)
+        key, name = self._plan_segment(query, plan)
         total = 0
         max_inflight = self.workers if limit is not None else len(chunks)
         for part, chunk_stats in _dispatch(
-            self._pool, _pool_count_task, lambda c, b: (key, blob, c, b),
+            self._pool, _pool_count_task, lambda c, b: (key, name, c, b),
             chunks, limit, self._cancel, lambda value: value[0], max_inflight,
         ):
             total += part
@@ -846,12 +971,12 @@ class MatcherPool:
             aggregate_stage_stats(stage_stats, into=local)
             self._absorb(local.to_dict(), stats)
             return
-        key, blob = self._plan_blob(query, plan)
+        key, name = self._plan_segment(query, plan)
         emitted = 0
         max_inflight = self.workers if limit is not None else len(chunks)
         try:
             for part, chunk_stats in _dispatch(
-                self._pool, _pool_search_task, lambda c, b: (key, blob, c, b),
+                self._pool, _pool_search_task, lambda c, b: (key, name, c, b),
                 chunks, limit, self._cancel, lambda value: len(value[0]),
                 max_inflight,
             ):

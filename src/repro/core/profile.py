@@ -105,7 +105,13 @@ PROFILE_SCHEMA: Dict[str, Any] = {
         },
         "phase_times_s": {
             "type": "object",
-            "required": ["decomposition", "cpi_build", "ordering", "enumeration"],
+            "required": [
+                "decomposition",
+                "cpi_build",
+                "ordering",
+                "enumeration",
+                "segment_attach",
+            ],
             "additionalProperties": {"type": "number", "minimum": 0},
         },
         "counters": {

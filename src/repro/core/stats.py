@@ -233,8 +233,11 @@ def aggregate_stage_stats(
 #: The canonical per-phase timer keys, in pipeline order.  Every
 #: preparation path (fresh build, cache bypass, ``prepare_from_cpi`` in a
 #: spawn-pool worker) fills all of them, so profile output is never
-#: partially zeroed.
-PHASE_NAMES = ("decomposition", "cpi_build", "ordering", "enumeration")
+#: partially zeroed.  ``segment_attach`` is the shared-memory path's
+#: attach-and-decode cost (zero on in-process preparations).
+PHASE_NAMES = (
+    "decomposition", "cpi_build", "ordering", "enumeration", "segment_attach"
+)
 
 
 def empty_phase_times() -> Dict[str, float]:

@@ -10,7 +10,19 @@ and Maximum Neighbor Degree (MND) used by the CandVerify filter
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
 
 #: lazy CSR cache: (indptr, indices, labels, degrees) numpy arrays
 CSRArrays = Tuple[Any, Any, Any, Any]
@@ -47,8 +59,14 @@ class Graph:
         "_signature",
     )
 
+    # Storage is annotated with read-only protocols rather than the
+    # concrete list/set types this constructor builds: the shared-memory
+    # subclass (:class:`repro.core.shm.SharedGraph`) fills the same
+    # slots with zero-copy memoryview rows and bisect-backed set
+    # facades.  Consumers may only rely on Sequence/AbstractSet
+    # operations — which is also the immutability story (PR 2).
     def __init__(self, labels: Sequence[int], edges: Iterable[Tuple[int, int]]) -> None:
-        self.labels: List[int] = list(labels)
+        self.labels: Sequence[int] = list(labels)
         n = len(self.labels)
         adj: List[List[int]] = [[] for _ in range(n)]
         adj_sets: List[Set[int]] = [set() for _ in range(n)]
@@ -67,12 +85,12 @@ class Graph:
             num_edges += 1
         for lst in adj:
             lst.sort()
-        self.adj: List[List[int]] = adj
-        self._adj_sets: List[Set[int]] = adj_sets
+        self.adj: Sequence[Sequence[int]] = adj
+        self._adj_sets: Sequence[AbstractSet[int]] = adj_sets
         self._num_edges = num_edges
-        self._label_index: Optional[Dict[int, List[int]]] = None
+        self._label_index: Optional[Dict[int, Sequence[int]]] = None
         self._nlf: Optional[List[Dict[int, int]]] = None
-        self._mnd: Optional[List[int]] = None
+        self._mnd: Optional[Sequence[int]] = None
         self._csr: Optional[CSRArrays] = None
         self._signature: Optional[Signature] = None
 
@@ -97,12 +115,12 @@ class Graph:
         """Label ``l(v)`` of vertex ``v``."""
         return self.labels[v]
 
-    def neighbors(self, v: int) -> List[int]:
+    def neighbors(self, v: int) -> Sequence[int]:
         """Sorted neighbor list ``N(v)``."""
         return self.adj[v]
 
-    def neighbor_set(self, v: int) -> Set[int]:
-        """Neighbor set of ``v`` for O(1) membership tests."""
+    def neighbor_set(self, v: int) -> AbstractSet[int]:
+        """Neighbor set of ``v`` for O(1)/O(log deg) membership tests."""
         return self._adj_sets[v]
 
     def degree(self, v: int) -> int:
@@ -147,17 +165,17 @@ class Graph:
     # ------------------------------------------------------------------
     # Cached derived structures
     # ------------------------------------------------------------------
-    def label_index(self) -> Dict[int, List[int]]:
-        """Map label -> sorted list of vertices carrying it (built lazily)."""
+    def label_index(self) -> Dict[int, Sequence[int]]:
+        """Map label -> sorted vertices carrying it (built lazily)."""
         if self._label_index is None:
             index: Dict[int, List[int]] = {}
             for v, lab in enumerate(self.labels):
                 index.setdefault(lab, []).append(v)
-            self._label_index = index
+            self._label_index = cast(Dict[int, Sequence[int]], index)
         return self._label_index
 
-    def vertices_with_label(self, label: int) -> List[int]:
-        """All vertices with the given label (empty list if none)."""
+    def vertices_with_label(self, label: int) -> Sequence[int]:
+        """All vertices with the given label (empty if none)."""
         return self.label_index().get(label, [])
 
     def label_frequency(self, label: int) -> int:

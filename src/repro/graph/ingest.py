@@ -1,0 +1,105 @@
+"""``cfl-match ingest``: serialize a data graph to the binary CSR layout.
+
+An ingested ``.csr`` file is byte-identical to a
+:class:`~repro.core.shm.SharedGraphStore` shared-memory segment — the
+versioned ``CFLM`` header, the section table, and the ten int32 graph
+sections (adjacency CSR, label index, NLF tables, MND).  The matcher
+side opens it with :func:`~repro.core.shm.open_graph_file`, which mmaps
+the file read-only and wraps :class:`~repro.core.shm.SharedGraph` views
+over it: the text-parse/CSR-build cost is paid once at ingest time, and
+every later run (and every pool worker) just maps the file.
+
+Kept import-light on purpose: :mod:`repro.graph` does not import this
+module (it pulls in :mod:`repro.core.shm`, which imports back into the
+graph package); the CLI and tests import it directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.shm import (
+    KIND_GRAPH,
+    graph_sections,
+    open_graph_file,
+    pack_segment,
+    section_sizes,
+    segment_nbytes,
+)
+from .graph import Graph
+
+PathLike = Union[str, Path]
+
+__all__ = ["IngestReport", "ingest_graph", "load_graph_csr", "write_graph_csr"]
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Size accounting for one ingested graph file."""
+
+    path: str
+    num_vertices: int
+    num_edges: int
+    total_bytes: int
+    #: per-section byte sizes, ``header`` (header + section table) first
+    section_bytes: Dict[str, int]
+
+    def render(self) -> str:
+        """The human-readable size table the CLI prints."""
+        lines = [
+            f"{self.path}: |V|={self.num_vertices} |E|={self.num_edges} "
+            f"({self.total_bytes} bytes)",
+            f"  {'section':<14} {'bytes':>10} {'share':>7}",
+        ]
+        for name, nbytes in self.section_bytes.items():
+            share = nbytes / self.total_bytes if self.total_bytes else 0.0
+            lines.append(f"  {name:<14} {nbytes:>10} {share:>6.1%}")
+        return "\n".join(lines)
+
+
+def write_graph_csr(graph: Graph, path: PathLike) -> IngestReport:
+    """Serialize ``graph`` to ``path`` in the binary CSR segment layout.
+
+    The write is atomic (temp file + ``os.replace``), so a crashed
+    ingest never leaves a truncated file that a later
+    :func:`load_graph_csr` would trip over.
+    """
+    sections = graph_sections(graph)
+    buffer = bytearray(segment_nbytes(sections))
+    pack_segment(buffer, KIND_GRAPH, sections)
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_bytes(buffer)
+    os.replace(scratch, target)
+    return IngestReport(
+        path=str(target),
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        total_bytes=len(buffer),
+        section_bytes=section_sizes(memoryview(buffer)),
+    )
+
+
+def ingest_graph(source: PathLike, target: PathLike) -> IngestReport:
+    """Parse a text graph file and write its binary CSR form.
+
+    ``source`` goes through :func:`repro.graph.io.load_graph`, so every
+    format that function understands (including an already-ingested
+    ``.csr``, for re-packing) is accepted.
+    """
+    from .io import load_graph
+
+    return write_graph_csr(load_graph(source), target)
+
+
+def load_graph_csr(path: PathLike) -> Graph:
+    """Open an ingested file as a zero-copy mmap-backed graph.
+
+    Returns the store's :class:`~repro.core.shm.SharedGraph`; the
+    mapping lives as long as the graph does.  Workers can re-open it
+    from the graph's ``worker_handle()`` under any start method.
+    """
+    return open_graph_file(path).graph

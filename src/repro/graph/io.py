@@ -148,8 +148,24 @@ def save_graph(graph: Graph, path: PathLike) -> None:
 
 
 def load_graph(path: PathLike) -> Graph:
-    """Load a graph from a ``t/v/e`` file."""
-    return loads_graph(Path(path).read_text())
+    """Load a graph: the ``t/v/e`` text format or an ingested binary
+    ``.csr`` file, detected by magic bytes rather than extension.
+
+    Ingested files come back as a zero-copy mmap-backed
+    :class:`~repro.core.shm.SharedGraph` (a :class:`Graph` subclass), so
+    every ``--data`` flag in the CLI accepts them transparently."""
+    target = Path(path)
+    with open(target, "rb") as handle:
+        head = handle.read(4)
+    # Lazy import: repro.core.shm pulls the matcher stack, which plain
+    # text-format users of repro.graph should not pay for (or cycle on).
+    from ..core.shm import MAGIC_BYTES
+
+    if head == MAGIC_BYTES:
+        from .ingest import load_graph_csr
+
+        return load_graph_csr(target)
+    return loads_graph(target.read_text())
 
 
 def dumps_edge_list(graph: Graph) -> str:

@@ -20,6 +20,14 @@ is a plan-producing call (``prepare``, ``prepare_from_cpi``,
 ``decode_plan``, ``with_root_candidates``, ``to_cpi``, a ``CompiledCPI``
 classmethod, or a bare type construction), and from the project's
 naming vocabulary (``plan``, ``prepared``, ``cpi``, ``compiled``).
+
+The same discipline extends to the shared-memory layer (PR 6): a packed
+segment is *published read-only*.  Workers in other processes map the
+same bytes, so any post-publish write is a cross-process data race.  In
+``core/shm.py`` and ``graph/ingest.py`` the rule therefore flags element
+writes through segment buffers (``buf``/``buffer``/``words``/``view``)
+anywhere outside a ``pack*`` function — packing is the single sanctioned
+write window, before the segment name (or file) is shared.
 """
 
 from __future__ import annotations
@@ -130,8 +138,67 @@ def _is_plan_name(name: str, env: Dict[str, str]) -> bool:
     return env.get(name) == "plan" or name in PLAN_VAR_NAMES
 
 
+#: modules holding shared-segment buffers, where the read-only-after-
+#: publish discipline applies (element writes only inside ``pack*``)
+SEGMENT_MODULES = frozenset(
+    {"src/repro/core/shm.py", "src/repro/graph/ingest.py"}
+)
+SEGMENT_BUFFER_NAMES = frozenset({"buf", "buffer", "words", "view"})
+
+
+def _segment_writes(
+    module: "ModuleContext", node: ast.AST, inside_pack: bool
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            diagnostics.extend(
+                _segment_writes(
+                    module, child, inside_pack or child.name.startswith("pack")
+                )
+            )
+            continue
+        if isinstance(child, (ast.Assign, ast.AugAssign)) and not inside_pack:
+            targets = (
+                child.targets if isinstance(child, ast.Assign) else [child.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                # names along the chain: `segment.buf[0] = x` -> buf, segment
+                names = []
+                current: ast.AST = target
+                while isinstance(current, (ast.Attribute, ast.Subscript)):
+                    if isinstance(current, ast.Attribute):
+                        names.append(current.attr)
+                    current = current.value
+                if isinstance(current, ast.Name):
+                    names.append(current.id)
+                buffer = next(
+                    (
+                        name for name in names
+                        if name.lstrip("_") in SEGMENT_BUFFER_NAMES
+                    ),
+                    None,
+                )
+                if buffer is not None:
+                    diagnostics.append(
+                        module.diagnostic(
+                            RULE.id,
+                            child,
+                            f"writes through segment buffer {buffer!r} "
+                            "outside a pack* function; segments are "
+                            "read-only once published to other processes",
+                        )
+                    )
+        diagnostics.extend(_segment_writes(module, child, inside_pack))
+    return diagnostics
+
+
 def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
     diagnostics: List[Diagnostic] = []
+    if module.relpath in SEGMENT_MODULES:
+        diagnostics.extend(_segment_writes(module, module.tree, False))
     for body, env in walk_scopes(module.tree, _infer_env):
         for node in statements_excluding_nested(body):
             if isinstance(node, ast.Assign):

@@ -20,6 +20,12 @@ The rule inspects every pool-submission call site in ``parallel.py``:
 they run in the parent process and never cross the boundary.  Names the
 rule cannot resolve (function parameters forwarding a callable) pass —
 the rule proves unsafety, it does not demand proof of safety.
+
+The shared-memory layer (PR 6) is in scope too: spawn initializers
+receive the graph-store handle and attach via
+``repro.core.shm.attach_graph_store`` / ``attach_plan_segment``, so any
+pool-boundary callable defined in ``shm.py`` must itself be
+module-level for the same pickling reason.
 """
 
 from __future__ import annotations
@@ -136,7 +142,10 @@ RULE = register(
             "anything not importable by module path breaks the PR 2 "
             "shared-plan engine off Linux (parent-side callbacks are exempt)."
         ),
-        paths=("src/repro/core/parallel.py",),
+        paths=(
+            "src/repro/core/parallel.py",
+            "src/repro/core/shm.py",
+        ),
         check=check,
     )
 )

@@ -96,6 +96,7 @@ class TestDeadlineTruncation:
         assert report.cpi_size == 0
         assert set(report.phase_times) == {
             "decomposition", "cpi_build", "ordering", "enumeration",
+            "segment_attach",
         }
         counters = report.counters()
         assert SearchStats.from_dict(counters).to_dict() == counters

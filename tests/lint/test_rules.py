@@ -194,6 +194,36 @@ class TestR002:
         )
         assert diags == []
 
+    def test_fires_in_shm_module(self):
+        # the shared-memory layer is in scope: its attach helpers cross
+        # the pool boundary under spawn and must pickle by module path
+        diags = run(
+            """
+            def start(ctx, handle):
+                def attach():
+                    return handle
+                return ctx.Pool(2, initializer=attach)
+            """,
+            "src/repro/core/shm.py",
+            select=["R002"],
+        )
+        assert len(diags) == 1
+        assert "closure" in diags[0].message
+
+    def test_near_miss_module_level_attach_in_shm_passes(self):
+        diags = run(
+            """
+            def attach_graph_store(handle):
+                return handle
+
+            def start(ctx, handle):
+                return ctx.Pool(2, initializer=attach_graph_store)
+            """,
+            "src/repro/core/shm.py",
+            select=["R002"],
+        )
+        assert diags == []
+
 
 # ----------------------------------------------------------------------
 # R003 frozen-plan
@@ -254,6 +284,53 @@ class TestR003:
                 cpi.tree = tree
             """,
             "src/repro/core/cpi_builder.py",
+            select=["R003"],
+        )
+        assert diags == []
+
+    def test_fires_on_segment_write_outside_pack(self):
+        diags = run(
+            """
+            def patch(segment, value):
+                segment.buf[0] = value
+            """,
+            "src/repro/core/shm.py",
+            select=["R003"],
+        )
+        assert [d.rule for d in diags] == ["R003"]
+        assert "read-only once published" in diags[0].message
+
+    def test_fires_on_word_view_write_in_ingest(self):
+        diags = run(
+            """
+            def fixup(words):
+                words[3] += 1
+            """,
+            "src/repro/graph/ingest.py",
+            select=["R003"],
+        )
+        assert len(diags) == 1
+
+    def test_near_miss_segment_write_inside_pack_passes(self):
+        diags = run(
+            """
+            def pack_segment(buffer, kind, sections):
+                words = memoryview(buffer).cast("i")
+                words[0] = kind
+            """,
+            "src/repro/core/shm.py",
+            select=["R003"],
+        )
+        assert diags == []
+
+    def test_near_miss_segment_write_outside_shm_modules_passes(self):
+        # the discipline is scoped to the segment-owning modules
+        diags = run(
+            """
+            def f(words):
+                words[0] = 1
+            """,
+            "src/repro/core/kernel.py",
             select=["R003"],
         )
         assert diags == []
