@@ -99,6 +99,41 @@ def bench_pair(case, repeats: int, count_only: bool) -> Dict:
     }
 
 
+def bench_loop_overhead(case, repeats: int) -> Dict:
+    """Empty-body sweep over the compiled plan's candidate arrays.
+
+    Iterates every int32 of every stage's base and CSR candidate rows
+    doing no per-item work at all — the floor any per-candidate Python
+    cursor loop pays before matching logic even starts.  ``per_item_us``
+    is the number the frontier-at-a-time numpy intersection exists to
+    sidestep: vectorized rows pay one call per *row* instead of this per
+    *item*.
+    """
+    matcher = CFLMatch(case.data, engine="reference")
+    plan = matcher.prepare(case.query)
+    compiled = compile_kernel_plan(plan.cpi, plan.core_slots, plan.forest_slots)
+    rows = []
+    for stage in (compiled.core, compiled.forest):
+        rows.extend(stage.base_v)
+        rows.extend(stage.flat_v)
+    rows = [row for row in rows if len(row)]
+    items = sum(len(row) for row in rows)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for row in rows:
+            for _item in row:
+                pass
+        best = min(best, time.perf_counter() - started)
+    per_item_us = 1e6 * best / items if items else None
+    return {
+        "rows": len(rows),
+        "items": items,
+        "wall_s": round(best, 6),
+        "per_item_us": round(per_item_us, 4) if per_item_us is not None else None,
+    }
+
+
 def bench_compile_cost(case, repeats: int) -> Dict:
     """One-shot cost of lowering the plan to flat arrays (the price the
     kernel pays at prepare time, amortized by the plan cache)."""
@@ -154,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count": bench_pair(case, args.repeats, count_only=True),
         "enumerate": bench_pair(case, args.repeats, count_only=False),
         "compile": bench_compile_cost(case, args.repeats),
+        "loop_overhead": bench_loop_overhead(case, args.repeats),
     }
 
     if args.min_speedup is not None:

@@ -22,7 +22,11 @@ from ..core.nec import nec_reduction
 from ..graph.graph import Graph
 from ..workloads.datasets import load_dataset, synthetic_sweep_degree, synthetic_sweep_labels, synthetic_sweep_vertices
 from ..workloads.paper_graphs import figure1_example
-from ..workloads.queries import QuerySetSpec, generate_query_set
+from ..workloads.queries import (
+    QuerySetSpec,
+    frequent_query_workload,
+    generate_query_set,
+)
 from .harness import INF, QuerySetResult, make_matcher, run_query_set
 from .reporting import format_table, series_table
 
@@ -542,10 +546,10 @@ def fig22_frequent_queries(profile: Profile, datasets: Optional[Sequence[str]] =
         queries = [q for qs in sets.values() for q in qs]
         threshold = max(profile.limit // 10, 10)
         counter = make_matcher("CFL-Match", data)
-        frequent = [q for q in queries if counter.count(q, limit=threshold) >= threshold]
-        infrequent = [q for q in queries if q not in frequent]
-        classes = {"frequent": frequent, "infrequent": infrequent, "random": queries}
-        classes = {k: v for k, v in classes.items() if v}
+        classes = frequent_query_workload(
+            data, queries, threshold,
+            lambda query, limit: counter.count(query, limit=limit),
+        )
         series = _run_matrix(data, classes, algorithms, profile, lambda r: r.avg_total_ms)
         sections.append(
             (f"{dataset} (total time, ms/query; threshold {threshold} embeddings)",

@@ -5,6 +5,7 @@ Examples::
     cfl-match match --data graph.txt --query query.txt --limit 10
     cfl-match ingest graph.txt graph.csr
     cfl-match count --data graph.csr --query query.txt --workers 4
+    cfl-match batch queries.txt --data graph.txt --json
     cfl-match experiment fig08 --profile smoke
     cfl-match experiment all --profile small --out results/
     cfl-match datasets
@@ -20,7 +21,8 @@ from typing import List, Optional
 
 from .bench.experiments import EXPERIMENTS, PROFILES, run_experiment
 from .bench.harness import MATCHERS, make_matcher
-from .core.matcher import ENGINES, CFLMatch
+from .core.batch import DEFAULT_AUX_BYTES
+from .core.matcher import ENGINES, VECTOR_MODES, CFLMatch
 from .graph.io import load_graph
 from .workloads.datasets import DATASETS, SCALES, dataset_spec
 
@@ -80,6 +82,63 @@ def _cmd_count(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - started
     suffix = "+" if args.limit is not None and total >= args.limit else ""
     print(f"{total}{suffix} embedding(s) in {1000 * elapsed:.1f} ms")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.batch import BatchMatcher
+
+    data = load_graph(args.data)
+    manifest = Path(args.queries)
+    paths: List[Path] = []
+    for line in manifest.read_text().splitlines():
+        entry = line.strip()
+        if not entry or entry.startswith("#"):
+            continue
+        path = Path(entry)
+        if not path.is_absolute():
+            path = manifest.parent / path
+        paths.append(path)
+    if not paths:
+        print("error: the manifest lists no query files", file=sys.stderr)
+        return 2
+    queries = [load_graph(str(path)) for path in paths]
+    matcher = BatchMatcher(
+        data,
+        workers=args.workers,
+        use_aux=not args.no_aux,
+        aux_max_bytes=args.aux_max_bytes,
+        engine=args.engine,
+        vector_mode=args.vector_mode,
+    )
+    report = matcher.run(
+        queries, limit=args.limit, time_limit_s=args.time_limit
+    )
+    payload = report.to_dict()
+    payload["query_files"] = [str(path) for path in paths]
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    aux = payload["aux"]
+    print(
+        f"{len(queries)} query(ies) in {1000 * report.wall_time_s:.1f} ms "
+        f"({report.queries_per_s:.1f} q/s, {report.groups} signature "
+        f"group(s), workers={report.workers})"
+    )
+    print(
+        f"plan cache hits: {report.plan_cache_hits}; aux adjacency: "
+        f"{aux['hits']} hit(s), {aux['misses']} miss(es), "
+        f"hit rate {aux['hit_rate']:.2f}, {aux['bytes_in_use']} byte(s) live"
+    )
+    for result in report.results:
+        print(
+            f"  [{result.index}] {paths[result.index].name}: "
+            f"{result.embeddings} embedding(s), status={result.status}"
+        )
     return 0
 
 
@@ -294,6 +353,54 @@ def build_parser() -> argparse.ArgumentParser:
              "or the reference backtracker",
     )
     p_count.set_defaults(func=_cmd_count)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a whole query workload with shared plan and auxiliary "
+             "adjacency caches (bit-identical to one-at-a-time serving)",
+    )
+    p_batch.add_argument(
+        "queries",
+        help="manifest file listing one query graph file per line "
+             "(relative paths resolve against the manifest's directory; "
+             "'#' starts a comment)",
+    )
+    p_batch.add_argument("--data", required=True, help="data graph file")
+    p_batch.add_argument("--limit", type=int, default=None, help="per-query embedding cap")
+    p_batch.add_argument(
+        "--workers", type=int, default=1,
+        help="route enumeration through a persistent MatcherPool (1 = sequential)",
+    )
+    p_batch.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="per-query wall-clock budget (workers=1 only)",
+    )
+    p_batch.add_argument(
+        "--no-aux", action="store_true",
+        help="disable the shared auxiliary adjacency cache",
+    )
+    p_batch.add_argument(
+        "--aux-max-bytes", type=int, default=DEFAULT_AUX_BYTES,
+        help="auxiliary adjacency byte budget (LRU-evicted above it)",
+    )
+    p_batch.add_argument(
+        "--vector-mode", default="auto", choices=VECTOR_MODES,
+        help="frontier vectorization of the kernel's eager intersections: "
+             "per-stage breadth heuristic (auto, default), always (on), "
+             "never (off)",
+    )
+    p_batch.add_argument(
+        "--engine", default="kernel", choices=ENGINES,
+        help="enumeration engine: compiled flat-array kernel (default) "
+             "or the reference backtracker",
+    )
+    p_batch.add_argument(
+        "--json", action="store_true", help="emit the batch report as JSON"
+    )
+    p_batch.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the JSON to PATH"
+    )
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_ingest = sub.add_parser(
         "ingest",

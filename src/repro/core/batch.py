@@ -1,0 +1,510 @@
+"""Batch query engine: shared auxiliary adjacency across one workload.
+
+A single :class:`~repro.core.matcher.CFLMatch` amortizes nothing *across*
+queries: every CPI construction re-scans the data graph's adjacency,
+re-applying the same label and degree filters query after query, even
+when the workload's queries share label pairs (they nearly always do —
+a workload over a fixed label alphabet keeps asking for the same
+``(label(u'), label(u))`` transitions).  Following GraphMini's shared
+auxiliary adjacency idea (see PAPERS.md), this module factors that
+repeated work into one batch-scoped cache:
+
+* :class:`AuxAdjacencyCache` — pre-intersected label-pair candidate
+  adjacency in int32 CSR form, keyed by ``(parent_label, child_label,
+  degree_bucket)``.  A row holds, for one data vertex of
+  ``parent_label``, its sorted neighbors with ``child_label`` and degree
+  at least the bucket (the largest power of two not exceeding the query
+  vertex's degree — an NLF-style bucketing that lets one entry serve
+  every query degree in ``[bucket, 2*bucket)``).  Entries are built
+  whole on first use and LRU-evicted under a byte budget, so a
+  truncated query can never publish a partial entry.  Hits, misses and
+  bytes are counted through :class:`~repro.core.stats.SearchStats`
+  (``aux_adj_hits``/``aux_adj_misses``/``aux_adj_bytes``).
+* :class:`BatchMatcher` — accepts a list of queries against one data
+  graph, groups them by label signature (so plan-cache and aux-cache
+  locality line up), runs them through one matcher (or a
+  :class:`~repro.core.parallel.MatcherPool` when ``workers > 1``) and
+  returns per-query reports in input order.  Results, enumeration order
+  and per-query counters are bit-identical to one-at-a-time serving;
+  only the shared build work is amortized.
+
+The cache's correctness argument: a cached row is the label-matching,
+degree-bucket-filtered *subsequence* of the raw sorted adjacency row.
+Everywhere the builders consume it, the exact degree condition is either
+re-checked (candidate generation, when the bucket under-approximates the
+query degree) or implied by membership in an already-filtered candidate
+set (adjacency construction), so the built CPI is identical with or
+without the cache.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .core_match import SearchTimeout
+from .matcher import CFLMatch, MatchReport
+from .stats import SearchStats, monotonic_now
+
+__all__ = [
+    "AuxAdjacencyCache",
+    "AuxEntry",
+    "BatchMatcher",
+    "BatchQueryResult",
+    "BatchReport",
+    "batch_execution_order",
+    "degree_bucket",
+    "label_signature",
+]
+
+#: Default auxiliary-adjacency byte budget (CSR storage only).
+DEFAULT_AUX_BYTES = 32 * 1024 * 1024
+
+#: One cache key: (parent label, child label, degree bucket).
+AuxKey = Tuple[int, int, int]
+
+#: Structural grouping key for a query: sorted label multiset plus the
+#: sorted multiset of label pairs its edges connect.
+LabelSignature = Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]
+
+
+def degree_bucket(degree: int) -> int:
+    """Largest power of two not exceeding ``degree`` (0 for degree 0).
+
+    Bucketing the degree filter lets one cached entry serve every query
+    vertex whose degree falls in ``[bucket, 2*bucket)``; consumers
+    re-check the exact degree when it exceeds the bucket.
+    """
+    if degree <= 0:
+        return 0
+    return 1 << (degree.bit_length() - 1)
+
+
+class AuxEntry:
+    """One materialized ``(parent_label, child_label, bucket)`` CSR.
+
+    ``aux_verts`` lists every data vertex of ``parent_label`` (sorted);
+    row ``i`` of ``aux_indptr``/``aux_flat`` holds the sorted neighbors
+    of ``aux_verts[i]`` whose label is ``child_label`` and whose degree
+    is at least ``bucket``.  All three arrays are frozen once built —
+    repro-lint R003 flags element writes through ``aux_*`` arrays
+    anywhere outside this module (the names are deliberately
+    unambiguous so the rule needs no type inference).
+    """
+
+    __slots__ = (
+        "bucket", "aux_verts", "aux_indptr", "aux_flat",
+        "nbytes", "_position", "_view",
+    )
+
+    def __init__(
+        self,
+        bucket: int,
+        verts: "array[int]",
+        indptr: "array[int]",
+        flat: "array[int]",
+    ) -> None:
+        self.bucket = bucket
+        self.aux_verts = verts
+        self.aux_indptr = indptr
+        self.aux_flat = flat
+        self.nbytes = (len(verts) + len(indptr) + len(flat)) * flat.itemsize
+        self._position: Dict[int, int] = {v: i for i, v in enumerate(verts)}
+        self._view = memoryview(flat)
+
+    def row(self, vertex: int) -> Sequence[int]:
+        """The cached sorted row of ``vertex`` (a zero-copy slice)."""
+        index = self._position[vertex]
+        return self._view[self.aux_indptr[index]:self.aux_indptr[index + 1]]
+
+
+class AuxAdjacencyCache:
+    """LRU cache of pre-intersected label-pair adjacency over one graph.
+
+    ``stats`` (shared by every query in the batch) receives the
+    ``aux_adj_hits``/``aux_adj_misses``/``aux_adj_bytes`` counters; they
+    are deliberately *not* charged to per-query build stats so a batch
+    run's per-query counters stay bit-identical to one-at-a-time runs.
+    """
+
+    def __init__(
+        self,
+        data: Graph,
+        max_bytes: int = DEFAULT_AUX_BYTES,
+        stats: Optional[SearchStats] = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
+        self.data = data
+        self.max_bytes = max_bytes
+        self.stats = stats if stats is not None else SearchStats()
+        self._entries: "OrderedDict[AuxKey, AuxEntry]" = OrderedDict()
+        self.bytes_in_use = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, parent_label: int, child_label: int, degree: int) -> AuxEntry:
+        """The entry serving ``(parent_label, child_label, degree)``,
+        building (and possibly evicting) on miss."""
+        key = (parent_label, child_label, degree_bucket(degree))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.aux_adj_hits += 1
+            return entry
+        entry = self._build(key)
+        self.stats.aux_adj_misses += 1
+        self.stats.aux_adj_bytes += entry.nbytes
+        self._entries[key] = entry
+        self.bytes_in_use += entry.nbytes
+        while self.bytes_in_use > self.max_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self.bytes_in_use -= evicted.nbytes
+            self.evictions += 1
+        return entry
+
+    def _build(self, key: AuxKey) -> AuxEntry:
+        # Built whole before the entry becomes visible: a deadline or
+        # budget firing between lookups can never expose a partial row.
+        parent_label, child_label, bucket = key
+        data = self.data
+        adj = data.adj
+        labels = data.labels
+        verts = array("i", data.vertices_with_label(parent_label))
+        indptr = array("i", [0])
+        flat = array("i")
+        for v in verts:
+            for w in adj[v]:
+                if labels[w] == child_label and len(adj[w]) >= bucket:
+                    flat.append(w)
+            indptr.append(len(flat))
+        return AuxEntry(bucket, verts, indptr, flat)
+
+    def clear(self) -> None:
+        """Drop every entry (byte accounting reset; counters keep)."""
+        self._entries.clear()
+        self.bytes_in_use = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.stats.aux_adj_hits + self.stats.aux_adj_misses
+        return self.stats.aux_adj_hits / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Batch grouping
+# ----------------------------------------------------------------------
+def label_signature(query: Graph) -> LabelSignature:
+    """Label-structure key: queries sharing it ask for the same label
+    pairs, so running them back-to-back maximizes aux locality."""
+    labels = tuple(sorted(query.labels))
+    pairs: List[Tuple[int, int]] = []
+    for a, b in query.edges():
+        la, lb = query.label(a), query.label(b)
+        pairs.append((la, lb) if la <= lb else (lb, la))
+    return labels, tuple(sorted(pairs))
+
+
+def batch_execution_order(queries: Sequence[Graph]) -> List[int]:
+    """Query indices grouped by label signature.
+
+    Groups keep first-appearance order and input order within a group,
+    so the schedule is deterministic and results can be reported back in
+    input order regardless.
+    """
+    groups: "OrderedDict[LabelSignature, List[int]]" = OrderedDict()
+    for index, query in enumerate(queries):
+        groups.setdefault(label_signature(query), []).append(index)
+    order: List[int] = []
+    for members in groups.values():
+        order.extend(members)
+    return order
+
+
+# ----------------------------------------------------------------------
+# Batch reports
+# ----------------------------------------------------------------------
+@dataclass
+class BatchQueryResult:
+    """One query's outcome inside a batch (mirrors
+    :class:`~repro.core.matcher.MatchReport`'s measured quantities)."""
+
+    index: int
+    embeddings: int
+    status: str
+    stats: SearchStats
+    build_stats: SearchStats
+    ordering_time: float
+    enumeration_time: float
+    results: Optional[List[Tuple[int, ...]]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "embeddings": self.embeddings,
+            "status": self.status,
+            "ordering_time_s": self.ordering_time,
+            "enumeration_time_s": self.enumeration_time,
+            "counters": self.stats.merged_with(self.build_stats).to_dict(),
+        }
+
+
+@dataclass
+class BatchReport:
+    """Everything one :meth:`BatchMatcher.run` measured."""
+
+    results: List[BatchQueryResult]
+    #: batch-scoped counters: the aux cache's hits/misses/bytes (zero
+    #: when the cache is disabled)
+    aux_stats: SearchStats
+    wall_time_s: float
+    groups: int
+    plan_cache_hits: int
+    aux_hit_rate: float = 0.0
+    aux_bytes_in_use: int = 0
+    workers: int = 1
+
+    @property
+    def embeddings(self) -> int:
+        return sum(result.embeddings for result in self.results)
+
+    @property
+    def queries_per_s(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return len(self.results) / self.wall_time_s
+
+    def totals(self) -> SearchStats:
+        """Every counter summed: per-query stats plus the aux counters."""
+        total = SearchStats()
+        for result in self.results:
+            total.merge(result.stats)
+            total.merge(result.build_stats)
+        total.merge(self.aux_stats)
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queries": len(self.results),
+            "embeddings": self.embeddings,
+            "wall_time_s": self.wall_time_s,
+            "queries_per_s": self.queries_per_s,
+            "groups": self.groups,
+            "workers": self.workers,
+            "plan_cache_hits": self.plan_cache_hits,
+            "aux": {
+                "hits": self.aux_stats.aux_adj_hits,
+                "misses": self.aux_stats.aux_adj_misses,
+                "bytes": self.aux_stats.aux_adj_bytes,
+                "bytes_in_use": self.aux_bytes_in_use,
+                "hit_rate": self.aux_hit_rate,
+            },
+            "totals": self.totals().to_dict(),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+# ----------------------------------------------------------------------
+# Batch matcher
+# ----------------------------------------------------------------------
+class BatchMatcher:
+    """Serve a list of queries over one data graph with shared caches.
+
+    Parameters mirror :class:`~repro.core.matcher.CFLMatch` (anything in
+    ``matcher_kwargs`` is forwarded); on top of them:
+
+    ``workers``
+        ``> 1`` routes enumeration through a
+        :class:`~repro.core.parallel.MatcherPool` (the aux cache stays
+        parent-side — workers only enumerate prebuilt plans).
+    ``use_aux`` / ``aux_max_bytes``
+        enable (default) and bound the shared auxiliary adjacency.
+
+    Per-query embeddings, enumeration order and ``SearchStats`` are
+    bit-identical to running each query through a fresh matcher; the
+    batch only removes *repeated* work (plan-cache hits for structurally
+    identical queries, aux-cache hits for shared label pairs).
+    """
+
+    def __init__(
+        self,
+        data: Graph,
+        workers: int = 1,
+        use_aux: bool = True,
+        aux_max_bytes: int = DEFAULT_AUX_BYTES,
+        plan_cache_size: int = 64,
+        **matcher_kwargs: Any,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.data = data
+        self.workers = workers
+        self.aux: Optional[AuxAdjacencyCache] = (
+            AuxAdjacencyCache(data, max_bytes=aux_max_bytes)
+            if use_aux
+            else None
+        )
+        self._matcher_kwargs = dict(matcher_kwargs)
+        self._plan_cache_size = plan_cache_size
+        self.matcher = CFLMatch(
+            data,
+            plan_cache_size=plan_cache_size,
+            aux_cache=self.aux,
+            **matcher_kwargs,
+        )
+
+    def run(
+        self,
+        queries: Sequence[Graph],
+        limit: Optional[int] = None,
+        count_only: bool = True,
+        collect: bool = False,
+        max_expansions: Optional[int] = None,
+        time_limit_s: Optional[float] = None,
+    ) -> BatchReport:
+        """Run every query; results come back in input order.
+
+        ``limit``/``max_expansions``/``time_limit_s`` apply *per query*
+        (a truncated query cannot poison the shared caches: plans enter
+        the plan cache only when preparation completed, and aux entries
+        are built whole before first use).  ``collect`` materializes
+        embeddings (ignored under ``count_only``, the default).
+        """
+        if self.workers > 1:
+            if time_limit_s is not None or max_expansions is not None:
+                raise ValueError(
+                    "per-query budgets (time_limit_s/max_expansions) "
+                    "require workers=1"
+                )
+            return self._run_pool(queries, limit=limit, count_only=count_only)
+        matcher = self.matcher
+        started = monotonic_now()
+        hits_before = matcher.plan_cache_hits
+        outcomes: List[Optional[BatchQueryResult]] = [None] * len(queries)
+        order = batch_execution_order(queries)
+        for index in order:
+            query = queries[index]
+            deadline = (
+                monotonic_now() + time_limit_s
+                if time_limit_s is not None
+                else None
+            )
+            try:
+                plan = matcher.prepare(query, deadline=deadline)
+            except SearchTimeout:
+                outcomes[index] = BatchQueryResult(
+                    index=index,
+                    embeddings=0,
+                    status="timed_out",
+                    stats=SearchStats(),
+                    build_stats=SearchStats(),
+                    ordering_time=0.0,
+                    enumeration_time=0.0,
+                )
+                continue
+            report = matcher.run(
+                query,
+                limit=limit,
+                collect=collect,
+                count_only=count_only,
+                max_expansions=max_expansions,
+                deadline=deadline,
+                prepared=plan,
+            )
+            outcomes[index] = self._result_from_report(index, report)
+        wall = monotonic_now() - started
+        return self._finish(
+            outcomes, wall,
+            groups=_group_count(queries),
+            plan_cache_hits=matcher.plan_cache_hits - hits_before,
+            workers=1,
+        )
+
+    def _run_pool(
+        self,
+        queries: Sequence[Graph],
+        limit: Optional[int],
+        count_only: bool,
+    ) -> BatchReport:
+        from .parallel import MatcherPool
+
+        started = monotonic_now()
+        outcomes: List[Optional[BatchQueryResult]] = [None] * len(queries)
+        with MatcherPool(
+            self.data,
+            workers=self.workers,
+            plan_cache_size=self._plan_cache_size,
+            aux_cache=self.aux,
+            **self._matcher_kwargs,
+        ) as pool:
+            batched = pool.run_batch(
+                queries, limit=limit, count_only=count_only
+            )
+            hits = pool.matcher.plan_cache_hits
+            for index, (value, stats, elapsed) in enumerate(batched):
+                plan = pool.matcher.prepare(queries[index])
+                embeddings = value if isinstance(value, int) else len(value)
+                outcomes[index] = BatchQueryResult(
+                    index=index,
+                    embeddings=embeddings,
+                    status="ok",
+                    stats=stats,
+                    build_stats=plan.build_stats,
+                    ordering_time=plan.ordering_time,
+                    enumeration_time=elapsed,
+                    results=None if isinstance(value, int) else list(value),
+                )
+        wall = monotonic_now() - started
+        return self._finish(
+            outcomes, wall,
+            groups=_group_count(queries),
+            plan_cache_hits=hits,
+            workers=self.workers,
+        )
+
+    def _result_from_report(
+        self, index: int, report: MatchReport
+    ) -> BatchQueryResult:
+        return BatchQueryResult(
+            index=index,
+            embeddings=report.embeddings,
+            status=report.status,
+            stats=report.stats,
+            build_stats=report.build_stats,
+            ordering_time=report.ordering_time,
+            enumeration_time=report.enumeration_time,
+            results=report.results,
+        )
+
+    def _finish(
+        self,
+        outcomes: List[Optional[BatchQueryResult]],
+        wall: float,
+        groups: int,
+        plan_cache_hits: int,
+        workers: int,
+    ) -> BatchReport:
+        results = [outcome for outcome in outcomes if outcome is not None]
+        aux_stats = self.aux.stats if self.aux is not None else SearchStats()
+        return BatchReport(
+            results=results,
+            aux_stats=aux_stats,
+            wall_time_s=wall,
+            groups=groups,
+            plan_cache_hits=plan_cache_hits,
+            aux_hit_rate=self.aux.hit_rate if self.aux is not None else 0.0,
+            aux_bytes_in_use=(
+                self.aux.bytes_in_use if self.aux is not None else 0
+            ),
+            workers=workers,
+        )
+
+
+def _group_count(queries: Sequence[Graph]) -> int:
+    return len({label_signature(query) for query in queries})

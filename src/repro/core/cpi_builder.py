@@ -28,13 +28,16 @@ finishing an arbitrarily expensive build.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..graph.graph import Graph
 from .core_match import SearchTimeout
 from .cpi import CPI, QueryBFSTree
 from .filters import cand_verify, make_counting_verify
 from .stats import SearchStats, monotonic_now
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .batch import AuxAdjacencyCache
 
 VerifyFn = Callable[[Graph, Graph, int, int], bool]
 
@@ -89,19 +92,23 @@ def build_cpi(
     verify: Optional[VerifyFn] = cand_verify,
     stats: Optional[SearchStats] = None,
     deadline: Optional[float] = None,
+    aux: Optional["AuxAdjacencyCache"] = None,
 ) -> CPI:
     """Build a small, sound CPI for ``query`` over ``data``.
 
     ``refine=False`` stops after the top-down phase (the ``CFL-Match-TD``
     variant); ``verify=None`` disables the CandVerify MND/NLF filtering.
+    ``aux`` (a :class:`~repro.core.batch.AuxAdjacencyCache`) serves
+    pre-intersected label-pair adjacency rows during construction; the
+    resulting CPI is identical with or without it.
     """
     tree = QueryBFSTree.build(query, root)
     counted = make_counting_verify(verify, stats)
-    cpi = _top_down_construct(tree, data, counted, stats, deadline)
+    cpi = _top_down_construct(tree, data, counted, stats, deadline, aux)
     if stats is not None:
         stats.cpi_candidates_topdown += sum(len(c) for c in cpi.candidates)
     if refine:
-        _bottom_up_refine(cpi, stats, deadline)
+        _bottom_up_refine(cpi, stats, deadline, aux)
         if stats is not None:
             stats.refine_passes += 1
     _record_build_totals(cpi, stats)
@@ -149,6 +156,7 @@ def _top_down_construct(
     verify: Optional[VerifyFn],
     stats: Optional[SearchStats] = None,
     deadline: Optional[float] = None,
+    aux: Optional["AuxAdjacencyCache"] = None,
 ) -> CPI:
     query = tree.query
     n_q = query.num_vertices
@@ -173,7 +181,10 @@ def _top_down_construct(
                 if not visited[u_prime] and tree.level[u_prime] == tree.level[u]:
                     unvisited_same_level[u].append(u_prime)
                 elif visited[u_prime]:
-                    _accumulate(query, data, u, candidates[u_prime], cnt, touched, total)
+                    _accumulate(
+                        query, data, u, query.label(u_prime),
+                        candidates[u_prime], cnt, touched, total, aux,
+                    )
                     total += 1
             u_cands: List[int] = []
             for v in touched:
@@ -198,7 +209,10 @@ def _top_down_construct(
             _check_deadline(deadline)
             total, touched = 0, []
             for u_prime in pending:
-                _accumulate(query, data, u, candidates[u_prime], cnt, touched, total)
+                _accumulate(
+                    query, data, u, query.label(u_prime),
+                    candidates[u_prime], cnt, touched, total, aux,
+                )
                 total += 1
             before = len(candidates[u])
             candidates[u] = [v for v in candidates[u] if cnt[v] == total]
@@ -215,6 +229,18 @@ def _top_down_construct(
             u_label = query.label(u)
             u_set = set(candidates[u])
             table = adjacency[u]
+            if aux is not None:
+                # Every member of u_set passed the degree >= deg(u) gate,
+                # so the bucket-prefiltered aux row keeps exactly the
+                # label-matching neighbors the raw scan would keep.
+                entry = aux.lookup(
+                    query.label(u_parent), u_label, query.degree(u)
+                )
+                for v_p in candidates[u_parent]:
+                    row = [v for v in entry.row(v_p) if v in u_set]
+                    if row:
+                        table[v_p] = row
+                continue
             for v_p in candidates[u_parent]:
                 row = [
                     v
@@ -230,20 +256,40 @@ def _accumulate(
     query: Graph,
     data: Graph,
     u: int,
+    parent_label: int,
     neighbor_candidates: List[int],
     cnt: List[int],
     touched: List[int],
     expected: int,
+    aux: Optional["AuxAdjacencyCache"] = None,
 ) -> None:
     """Lines 11-13 of Algorithm 3: bump ``cnt`` of label/degree-feasible
     data neighbors of every candidate of a query neighbor of ``u``.
 
     ``cnt[v]`` is incremented at most once per query neighbor because the
     bump is gated on ``cnt[v] == expected`` (the neighbors already seen).
+    ``parent_label`` is the query label of the neighbor whose candidates
+    are being expanded (every candidate carries that data label); with
+    ``aux`` the inner scan walks the cached pre-intersected row — the
+    label-matching, degree-bucket-filtered subsequence of the raw
+    adjacency, in the same sorted order — and only re-checks the exact
+    degree when the bucket under-approximates it.
     """
     u_label = query.label(u)
     u_degree = query.degree(u)
     data_adj = data.adj
+    if aux is not None:
+        entry = aux.lookup(parent_label, u_label, u_degree)
+        exact_degree = u_degree > entry.bucket
+        for v_prime in neighbor_candidates:
+            for v in entry.row(v_prime):
+                if exact_degree and len(data_adj[v]) < u_degree:
+                    continue
+                if cnt[v] == expected:
+                    if expected == 0:
+                        touched.append(v)
+                    cnt[v] = expected + 1
+        return
     data_labels = data.labels
     for v_prime in neighbor_candidates:
         for v in data_adj[v_prime]:
@@ -262,6 +308,7 @@ def _bottom_up_refine(
     cpi: CPI,
     stats: Optional[SearchStats] = None,
     deadline: Optional[float] = None,
+    aux: Optional["AuxAdjacencyCache"] = None,
 ) -> None:
     tree = cpi.tree
     query = tree.query
@@ -280,7 +327,10 @@ def _bottom_up_refine(
             if lower:
                 total, touched = 0, []
                 for u_prime in lower:
-                    _accumulate(query, data, u, cpi.candidates[u_prime], cnt, touched, total)
+                    _accumulate(
+                        query, data, u, query.label(u_prime),
+                        cpi.candidates[u_prime], cnt, touched, total, aux,
+                    )
                     total += 1
                 kept, dropped = [], []
                 for v in cpi.candidates[u]:

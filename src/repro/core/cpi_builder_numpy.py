@@ -18,9 +18,12 @@ Python, see Figure 10) several-fold; the equivalence is property-tested.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .batch import AuxAdjacencyCache
 
 from ..graph.graph import Graph
 from .cpi import CPI, QueryBFSTree
@@ -180,15 +183,18 @@ def build_cpi_numpy(
     verify: Optional[VerifyFn] = cand_verify,
     stats: Optional[SearchStats] = None,
     deadline: Optional[float] = None,
+    aux: Optional["AuxAdjacencyCache"] = None,
 ) -> CPI:
     """Vectorized equivalent of :func:`repro.core.cpi_builder.build_cpi`.
 
     Produces identical CPIs *and* identical :class:`SearchStats` build
-    counters to the reference builder (property-tested).
+    counters to the reference builder (property-tested).  ``aux`` swaps
+    the adjacency-construction gather for the batch-shared
+    pre-intersected label-pair rows; the output is identical either way.
     """
     tree = QueryBFSTree.build(query, root)
     state = _NumpyBuildState(query, data, verify, stats)
-    cpi = _top_down(tree, state, deadline)
+    cpi = _top_down(tree, state, deadline, aux)
     if stats is not None:
         stats.cpi_candidates_topdown += sum(len(c) for c in cpi.candidates)
     if refine:
@@ -200,7 +206,10 @@ def build_cpi_numpy(
 
 
 def _top_down(
-    tree: QueryBFSTree, state: _NumpyBuildState, deadline: Optional[float] = None
+    tree: QueryBFSTree,
+    state: _NumpyBuildState,
+    deadline: Optional[float] = None,
+    aux: Optional["AuxAdjacencyCache"] = None,
 ) -> CPI:
     query, data = state.query, state.data
     n_q = query.num_vertices
@@ -257,10 +266,41 @@ def _top_down(
             member = np.zeros(data.num_vertices, dtype=bool)
             member[candidates[u]] = True
             verts = np.asarray(parents, dtype=np.int64)
-            counts = indptr[verts + 1] - indptr[verts]
-            gathered = state.gather_neighbors(parents)
-            segment = np.repeat(np.arange(verts.size, dtype=np.int64), counts)
-            mask = member[gathered] & (labels[gathered] == query.label(u))
+            if aux is not None:
+                # Gather from the shared pre-intersected rows instead of
+                # the raw CSR: the rows are already label-filtered (and
+                # degree-bucket-filtered, which membership in u.C
+                # implies), so the label mask drops out.
+                entry = aux.lookup(
+                    query.label(u_parent), query.label(u), query.degree(u)
+                )
+                a_indptr = np.frombuffer(entry.aux_indptr, dtype=np.int32)
+                a_flat = np.frombuffer(entry.aux_flat, dtype=np.int32)
+                a_verts = np.frombuffer(entry.aux_verts, dtype=np.int32)
+                pos = np.searchsorted(a_verts, verts)
+                starts = a_indptr[pos].astype(np.int64)
+                counts = (a_indptr[pos + 1] - a_indptr[pos]).astype(np.int64)
+                total_entries = int(counts.sum())
+                if total_entries:
+                    exclusive = np.zeros(verts.size, dtype=np.int64)
+                    np.cumsum(counts[:-1], out=exclusive[1:])
+                    flat_idx = np.arange(
+                        total_entries, dtype=np.int64
+                    ) + np.repeat(starts - exclusive, counts)
+                    gathered = a_flat[flat_idx].astype(np.int64)
+                else:
+                    gathered = np.empty(0, dtype=np.int64)
+                segment = np.repeat(
+                    np.arange(verts.size, dtype=np.int64), counts
+                )
+                mask = member[gathered]
+            else:
+                counts = indptr[verts + 1] - indptr[verts]
+                gathered = state.gather_neighbors(parents)
+                segment = np.repeat(
+                    np.arange(verts.size, dtype=np.int64), counts
+                )
+                mask = member[gathered] & (labels[gathered] == query.label(u))
             selected = gathered[mask]
             selected_segment = segment[mask]
             boundaries = np.searchsorted(

@@ -23,7 +23,10 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .batch import AuxAdjacencyCache
 
 from ..graph.graph import Graph, GraphError
 from .core_match import (
@@ -59,6 +62,13 @@ CPI_IMPLS = ("python", "numpy")
 #: the kernel module docstring for the one attribution caveat on the
 #: rejection-counter split).
 ENGINES = ("kernel", "reference")
+#: Frontier vectorization of the kernel's eager backward intersections:
+#: ``"auto"`` turns the numpy path on per stage when the stage's
+#: estimated breadth crosses ``vector_breadth``; ``"on"`` forces it for
+#: every eligible intersection; ``"off"`` keeps the scalar galloping
+#: loop.  Results, enumeration order and every counter are bit-identical
+#: in all three modes (the numpy path computes the same intersection).
+VECTOR_MODES = ("auto", "on", "off")
 
 
 @dataclass
@@ -85,6 +95,11 @@ class PreparedQuery:
     #: compiled lazily when a plan built elsewhere reaches a kernel
     #: matcher, e.g. after ``decode_plan`` in a worker).
     kernel: Optional[KernelPlan] = None
+    #: memoized ``vector_mode="auto"`` decision:
+    #: ``(vector_breadth, core_vectorized, forest_vectorized)`` —
+    #: recomputed when a matcher with a different threshold reuses the
+    #: plan (see ``CFLMatch._vector_stages``).
+    vector_stages: Optional[Tuple[int, bool, bool]] = None
 
     @property
     def matching_order(self) -> List[int]:
@@ -178,6 +193,18 @@ class CFLMatch:
         structurally identical query reuse the cached
         :class:`PreparedQuery` and skip the whole ordering phase —
         the serving-workload fast path.  ``0`` disables caching.
+    vector_mode / vector_breadth / vector_min_row:
+        frontier vectorization of the kernel's eager backward
+        intersections (see :data:`VECTOR_MODES`).  ``vector_breadth``
+        is the per-stage estimated-breadth threshold ``"auto"`` uses;
+        ``vector_min_row`` is the smallest candidate row the numpy path
+        takes over from the scalar galloping loop.  Bit-identical
+        results in every mode.
+    aux_cache:
+        a batch-shared :class:`~repro.core.batch.AuxAdjacencyCache`
+        serving pre-intersected label-pair adjacency rows to CPI
+        construction (``None`` — the default — builds from the raw
+        graph).  The built CPI is identical either way.
     """
 
     name = "CFL-Match"
@@ -191,6 +218,10 @@ class CFLMatch:
         cpi_impl: str = "python",
         engine: str = "kernel",
         plan_cache_size: int = 16,
+        vector_mode: str = "auto",
+        vector_breadth: int = 4096,
+        vector_min_row: int = 64,
+        aux_cache: Optional["AuxAdjacencyCache"] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}")
@@ -204,6 +235,12 @@ class CFLMatch:
             raise ValueError(f"engine must be one of {ENGINES}")
         if plan_cache_size < 0:
             raise ValueError("plan_cache_size must be >= 0")
+        if vector_mode not in VECTOR_MODES:
+            raise ValueError(f"vector_mode must be one of {VECTOR_MODES}")
+        if vector_breadth < 0:
+            raise ValueError("vector_breadth must be >= 0")
+        if vector_min_row < 1:
+            raise ValueError("vector_min_row must be >= 1")
         self.data = data
         self.mode = mode
         self.cpi_mode = cpi_mode
@@ -211,6 +248,10 @@ class CFLMatch:
         self.cpi_impl = cpi_impl
         self.engine = engine
         self.plan_cache_size = plan_cache_size
+        self.vector_mode = vector_mode
+        self.vector_breadth = vector_breadth
+        self.vector_min_row = vector_min_row
+        self.aux_cache = aux_cache
         # Data-graph CSR for kernel compilation: one pair per matcher,
         # shared by every compiled plan (built lazily on first use).
         self._data_csr: Optional[tuple] = None
@@ -458,14 +499,17 @@ class CFLMatch:
         """Core and forest backtrackers for the configured engine."""
         if self.engine == "kernel":
             compiled = self._ensure_kernel(plan)
+            core_vec, forest_vec = self._vector_stages(plan)
             return (
                 KernelBacktracker(
                     compiled, compiled.core, core_stats,
                     deadline=deadline, budget=budget,
+                    vectorize=core_vec, vector_min_row=self.vector_min_row,
                 ),
                 KernelBacktracker(
                     compiled, compiled.forest, forest_stats,
                     deadline=deadline, budget=budget,
+                    vectorize=forest_vec, vector_min_row=self.vector_min_row,
                 ),
             )
         return (
@@ -478,6 +522,41 @@ class CFLMatch:
                 deadline=deadline, budget=budget,
             ),
         )
+
+    def _vector_stages(self, plan: PreparedQuery) -> Tuple[bool, bool]:
+        """Per-stage frontier-vectorization decision for ``plan``.
+
+        ``"auto"`` vectorizes a stage when its estimated breadth (the
+        same tree-embedding DP :func:`~repro.core.explain.stage_breadth`
+        reports) reaches ``vector_breadth`` — high-breadth stages
+        amortize the numpy call overhead, low-breadth ones stay on the
+        scalar path.  The decision is memoized on the plan keyed by the
+        threshold, so serving workloads pay the DP once per plan.
+        """
+        if self.vector_mode == "off":
+            return False, False
+        if self.vector_mode == "on":
+            return True, True
+        cached = plan.vector_stages
+        if cached is not None and cached[0] == self.vector_breadth:
+            return cached[1], cached[2]
+        cpi = plan.cpi
+        core_breadth = forest_breadth = 0
+        if plan.core_order:
+            core_breadth = estimate_tree_embeddings(
+                cpi, cpi.root, set(plan.core_order)
+            )
+        if plan.forest_order:
+            forest_breadth = estimate_tree_embeddings(
+                cpi, cpi.root, set(plan.core_order) | set(plan.forest_order)
+            )
+        decision = (
+            self.vector_breadth,
+            core_breadth >= self.vector_breadth,
+            forest_breadth >= self.vector_breadth,
+        )
+        plan.vector_stages = decision
+        return decision[1], decision[2]
 
     def _build_cpi(
         self,
@@ -497,9 +576,11 @@ class CFLMatch:
             return build_cpi_numpy(
                 query, self.data, root,
                 refine=refine, stats=stats, deadline=deadline,
+                aux=self.aux_cache,
             )
         return build_cpi(
-            query, self.data, root, refine=refine, stats=stats, deadline=deadline
+            query, self.data, root, refine=refine, stats=stats,
+            deadline=deadline, aux=self.aux_cache,
         )
 
     def _forest_order(
@@ -624,6 +705,7 @@ class CFLMatch:
             phase_times=plan.phase_times,
             build_stats=plan.build_stats,
             kernel=kernel,
+            vector_stages=plan.vector_stages,
         )
 
     def count(

@@ -795,6 +795,7 @@ class MatcherPool:
         tasks_per_worker: int = 4,
         start_method: Optional[str] = None,
         plan_cache_size: int = 16,
+        aux_cache=None,
         **matcher_kwargs,
     ):
         self.data = data
@@ -804,9 +805,14 @@ class MatcherPool:
         #: the pool-created store (``None`` when ``data`` was already
         #: shared); unlinked by :meth:`close`
         self._store = store
+        # ``aux_cache`` (a batch-shared AuxAdjacencyCache) stays strictly
+        # parent-side: preparation happens in the parent, workers only
+        # enumerate prebuilt plans, so it is deliberately NOT part of the
+        # worker initargs below.
         self.matcher = CFLMatch(
             store.graph if store is not None else data,
-            plan_cache_size=plan_cache_size, **matcher_kwargs,
+            plan_cache_size=plan_cache_size, aux_cache=aux_cache,
+            **matcher_kwargs,
         )
         self.start_method = start_method or _default_start_method()
         self._ctx = multiprocessing.get_context(self.start_method)
@@ -999,3 +1005,35 @@ class MatcherPool:
     ) -> List[Tuple[int, ...]]:
         """All (or first ``limit``) embeddings via :meth:`search_iter`."""
         return list(self.search_iter(query, limit=limit, stats=stats))
+
+    def run_batch(
+        self,
+        queries: Sequence[Graph],
+        limit: Optional[int] = None,
+        count_only: bool = True,
+    ) -> List[Tuple[Any, SearchStats, float]]:
+        """Serve a whole workload through the pool, one query at a time.
+
+        Queries execute grouped by label signature (see
+        :func:`repro.core.batch.batch_execution_order`) so the plan cache
+        and any attached auxiliary adjacency cache see structurally
+        similar queries back to back; results come back in *input* order
+        as ``(value, stats, elapsed_s)`` triples — ``value`` is the
+        embedding count under ``count_only`` (the default), else the
+        embedding list (unordered when chunked across workers).
+        """
+        from .batch import batch_execution_order
+
+        outcomes: List[Optional[Tuple[Any, SearchStats, float]]] = (
+            [None] * len(queries)
+        )
+        for index in batch_execution_order(queries):
+            query = queries[index]
+            stats = SearchStats()
+            started = monotonic_now()
+            if count_only:
+                value: Any = self.count(query, limit=limit, stats=stats)
+            else:
+                value = self.search(query, limit=limit, stats=stats)
+            outcomes[index] = (value, stats, monotonic_now() - started)
+        return [outcome for outcome in outcomes if outcome is not None]

@@ -27,7 +27,7 @@ from .matcher import CFLMatch, MatchReport, PreparedQuery
 from .parallel import parallel_run
 from .stats import SearchStats, cpi_level_totals, empty_phase_times, monotonic_now
 
-PROFILE_SCHEMA_VERSION = 2
+PROFILE_SCHEMA_VERSION = 4
 
 #: JSON Schema (draft-07 subset) for ``profile_query`` output.  Kept in
 #: lock-step with ``docs/profile.schema.json`` (a test asserts equality).
@@ -140,6 +140,9 @@ PROFILE_SCHEMA: Dict[str, Any] = {
                 "refine_passes",
                 "cpi_candidates_final",
                 "cpi_edges_final",
+                "aux_adj_hits",
+                "aux_adj_misses",
+                "aux_adj_bytes",
             ],
             "additionalProperties": {"type": "integer", "minimum": 0},
         },

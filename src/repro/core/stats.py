@@ -142,6 +142,19 @@ class SearchStats:
         bottom-up refinement passes run (0 for the ``td`` ablation).
     ``cpi_candidates_final`` / ``cpi_edges_final``
         candidate / adjacency-list entry totals of the finished CPI.
+
+    Batch auxiliary-adjacency counters (filled by the shared
+    pre-intersected label-pair cache in ``repro.core.batch``):
+
+    ``aux_adj_hits``
+        CPI-construction lookups served from an already-built auxiliary
+        adjacency entry (a ``(parent_label, child_label, degree_bucket)``
+        CSR reused across the batch).
+    ``aux_adj_misses``
+        lookups that had to materialize a new auxiliary adjacency entry.
+    ``aux_adj_bytes``
+        cumulative bytes of auxiliary CSR storage materialized on misses
+        (monotonic: eviction does not subtract).
     """
 
     # -- enumeration ---------------------------------------------------
@@ -169,6 +182,10 @@ class SearchStats:
     refine_passes: int = 0
     cpi_candidates_final: int = 0
     cpi_edges_final: int = 0
+    # -- batch auxiliary adjacency -------------------------------------
+    aux_adj_hits: int = 0
+    aux_adj_misses: int = 0
+    aux_adj_bytes: int = 0
 
     # ------------------------------------------------------------------
     def merge(self, other: "SearchStats") -> "SearchStats":

@@ -28,6 +28,15 @@ same bytes, so any post-publish write is a cross-process data race.  In
 writes through segment buffers (``buf``/``buffer``/``words``/``view``)
 anywhere outside a ``pack*`` function — packing is the single sanctioned
 write window, before the segment name (or file) is shared.
+
+And to the batch engine (PR 7): an :class:`AuxAdjacencyCache` entry's
+CSR arrays (``aux_verts``/``aux_indptr``/``aux_flat``) are shared by
+every CPI construction in a batch.  An element write after the entry is
+published would silently corrupt every *later query* that hits the
+cache.  The rule flags element writes through ``aux_*`` arrays in every
+scanned module except ``core/batch.py`` itself — the cache builder is
+the single sanctioned write site (and it only ever appends to local
+arrays before publication anyway).
 """
 
 from __future__ import annotations
@@ -145,6 +154,29 @@ SEGMENT_MODULES = frozenset(
 )
 SEGMENT_BUFFER_NAMES = frozenset({"buf", "buffer", "words", "view"})
 
+#: the single module allowed to populate auxiliary adjacency entries
+AUX_MODULES = frozenset({"src/repro/core/batch.py"})
+#: the AuxEntry CSR array attributes (named unambiguously for this rule)
+AUX_BUFFER_NAMES = frozenset({"aux_verts", "aux_indptr", "aux_flat"})
+
+
+def _subscript_buffer(target: ast.AST, names: frozenset) -> Optional[str]:
+    """The first buffer-like name along a subscripted attribute chain
+    (``segment.buf[0] = x`` -> ``"buf"``), or ``None``."""
+    if not isinstance(target, ast.Subscript):
+        return None
+    chain: List[str] = []
+    current: ast.AST = target
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        if isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        chain.append(current.id)
+    return next(
+        (name for name in chain if name.lstrip("_") in names), None
+    )
+
 
 def _segment_writes(
     module: "ModuleContext", node: ast.AST, inside_pack: bool
@@ -163,24 +195,7 @@ def _segment_writes(
                 child.targets if isinstance(child, ast.Assign) else [child.target]
             )
             for target in targets:
-                if not isinstance(target, ast.Subscript):
-                    continue
-                # names along the chain: `segment.buf[0] = x` -> buf, segment
-                names = []
-                current: ast.AST = target
-                while isinstance(current, (ast.Attribute, ast.Subscript)):
-                    if isinstance(current, ast.Attribute):
-                        names.append(current.attr)
-                    current = current.value
-                if isinstance(current, ast.Name):
-                    names.append(current.id)
-                buffer = next(
-                    (
-                        name for name in names
-                        if name.lstrip("_") in SEGMENT_BUFFER_NAMES
-                    ),
-                    None,
-                )
+                buffer = _subscript_buffer(target, SEGMENT_BUFFER_NAMES)
                 if buffer is not None:
                     diagnostics.append(
                         module.diagnostic(
@@ -195,10 +210,36 @@ def _segment_writes(
     return diagnostics
 
 
+def _aux_writes(module: "ModuleContext") -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            buffer = _subscript_buffer(target, AUX_BUFFER_NAMES)
+            if buffer is not None:
+                diagnostics.append(
+                    module.diagnostic(
+                        RULE.id,
+                        node,
+                        f"writes through auxiliary adjacency array "
+                        f"{buffer!r} outside the batch cache builder; aux "
+                        "entries are shared by every CPI construction in "
+                        "a batch and read-only once built",
+                    )
+                )
+    return diagnostics
+
+
 def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
     diagnostics: List[Diagnostic] = []
     if module.relpath in SEGMENT_MODULES:
         diagnostics.extend(_segment_writes(module, module.tree, False))
+    if module.relpath not in AUX_MODULES:
+        diagnostics.extend(_aux_writes(module))
     for body, env in walk_scopes(module.tree, _infer_env):
         for node in statements_excluding_nested(body):
             if isinstance(node, ast.Assign):

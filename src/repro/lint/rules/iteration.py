@@ -154,6 +154,7 @@ RULE = register(
             "is not."
         ),
         paths=(
+            "src/repro/core/batch.py",
             "src/repro/core/core_match.py",
             "src/repro/core/kernel.py",
             "src/repro/core/leaf_match.py",

@@ -16,8 +16,10 @@ from .queries import (
     classify_by_frequency,
     default_query_specs,
     default_spec,
+    frequent_query_workload,
     generate_query,
     generate_query_set,
+    mixed_batch_workload,
     sparsify_to_avg_degree,
 )
 
@@ -35,7 +37,9 @@ __all__ = [
     "classify_by_frequency",
     "default_query_specs",
     "default_spec",
+    "frequent_query_workload",
     "generate_query",
     "generate_query_set",
+    "mixed_batch_workload",
     "sparsify_to_avg_degree",
 ]

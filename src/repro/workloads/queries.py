@@ -139,3 +139,54 @@ def classify_by_frequency(
         else:
             infrequent.append(query)
     return frequent, infrequent
+
+
+def frequent_query_workload(
+    data: Graph,
+    queries: List[Graph],
+    threshold: int,
+    count_fn,
+) -> dict:
+    """Figure 22's query classes over one pool of generated queries.
+
+    Returns ``{"frequent": ..., "infrequent": ..., "random": ...}`` with
+    ``random`` being the whole pool and empty classes dropped — the shape
+    both the Figure 22 experiment and the batch benchmark consume.
+    """
+    frequent, infrequent = classify_by_frequency(
+        data, queries, threshold, count_fn
+    )
+    classes = {
+        "frequent": frequent,
+        "infrequent": infrequent,
+        "random": list(queries),
+    }
+    return {name: members for name, members in classes.items() if members}
+
+
+def mixed_batch_workload(
+    data: Graph,
+    sizes: List[int],
+    distinct: int,
+    total: int,
+    seed: int = 0,
+) -> List[Graph]:
+    """A serving-style batch: ``distinct`` random-walk queries cycled
+    through ``sizes`` and both density classes, repeated out to ``total``
+    and deterministically shuffled.
+
+    The repetition models a serving workload over a fixed label alphabet
+    — exactly what the batch engine's shared plan and auxiliary adjacency
+    caches amortize — while the shuffle keeps the arrival order adversarial
+    to naive run-length batching.
+    """
+    if distinct < 1 or total < 1:
+        raise GraphError("mixed_batch_workload needs distinct >= 1, total >= 1")
+    rng = random.Random(seed)
+    pool = [
+        generate_query(data, sizes[index % len(sizes)], index % 2 == 0, rng)
+        for index in range(distinct)
+    ]
+    batch = [pool[index % len(pool)] for index in range(total)]
+    rng.shuffle(batch)
+    return batch
