@@ -142,6 +142,66 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.dynamic import ContinuousQuery, IncrementalMatcher
+    from .graph.dynamic import DynamicGraph, parse_delta_stream
+
+    data = load_graph(args.data)
+    query = load_graph(args.query)
+    deltas = parse_delta_stream(Path(args.deltas).read_text())
+    dynamic = DynamicGraph.from_graph(data)
+    matcher = IncrementalMatcher(
+        dynamic, engine=args.engine, rebuild_threshold=args.rebuild_threshold
+    )
+    started = time.perf_counter()
+    watch = ContinuousQuery(matcher, query, limit=args.limit)
+    events = []
+    for event in watch.feed(deltas):
+        events.append(event)
+        if not args.json:
+            print(
+                f"v{event.version} [{event.delta.format()}] "
+                f"+{len(event.created)} -{len(event.destroyed)} "
+                f"total={event.total}"
+            )
+    elapsed = time.perf_counter() - started
+    stats = matcher.prepare(query).build_stats
+    if args.json:
+        payload = {
+            "query": args.query,
+            "data": args.data,
+            "engine": args.engine,
+            "events": [
+                {
+                    "version": event.version,
+                    "delta": event.delta.format(),
+                    "created": [list(e) for e in event.created],
+                    "destroyed": [list(e) for e in event.destroyed],
+                    "total": event.total,
+                }
+                for event in events
+            ],
+            "total": len(watch.embeddings),
+            "stats": stats.to_dict(),
+            "wall_time_s": elapsed,
+        }
+        out = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(out)
+        else:
+            Path(args.json).write_text(out + "\n")
+            print(f"report written to {args.json}")
+    else:
+        print(
+            f"# {len(events)} delta(s), {len(watch.embeddings)} final "
+            f"embedding(s) in {1000 * elapsed:.1f} ms "
+            f"(repairs={stats.cpi_repairs}, rebuilds={stats.cpi_rebuilds})"
+        )
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from .graph.ingest import ingest_graph
 
@@ -235,18 +295,36 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .testing.engine import run_fuzz
-
     corpus_dir = None if args.no_corpus else Path(args.corpus)
-    report = run_fuzz(
-        seed=args.seed,
-        budget_seconds=args.budget_seconds,
-        matchers=args.matchers,
-        max_cases=args.max_cases,
-        corpus_dir=corpus_dir,
-        shrink=not args.no_shrink,
-        metamorphic=not args.no_metamorphic,
-    )
+    if args.dynamic:
+        from .testing.dynamic import run_incremental_fuzz
+
+        if args.matchers:
+            print(
+                "error: --matchers does not apply to --dynamic (the "
+                "incremental differential always runs both engines)",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_incremental_fuzz(
+            seed=args.seed,
+            budget_seconds=args.budget_seconds,
+            max_cases=args.max_cases,
+            corpus_dir=corpus_dir,
+            shrink=not args.no_shrink,
+        )
+    else:
+        from .testing.engine import run_fuzz
+
+        report = run_fuzz(
+            seed=args.seed,
+            budget_seconds=args.budget_seconds,
+            matchers=args.matchers,
+            max_cases=args.max_cases,
+            corpus_dir=corpus_dir,
+            shrink=not args.no_shrink,
+            metamorphic=not args.no_metamorphic,
+        )
     print(report.summary())
     if args.json == "-":
         print(report.to_json())
@@ -402,6 +480,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.set_defaults(func=_cmd_batch)
 
+    p_watch = sub.add_parser(
+        "watch",
+        help="apply a delta stream to a data graph and report created/"
+             "destroyed embeddings per delta (incremental CPI repair)",
+    )
+    p_watch.add_argument("query", help="query graph file (t/v/e format)")
+    p_watch.add_argument("--data", required=True, help="data graph file")
+    p_watch.add_argument(
+        "--deltas", required=True,
+        help="delta stream file (one 'ae u v' / 're u v' / 'av L' / 'rv v' "
+             "per line; '#' starts a comment)",
+    )
+    p_watch.add_argument("--limit", type=int, default=None,
+                         help="max live embeddings to track")
+    p_watch.add_argument("--engine", default="kernel", choices=sorted(ENGINES))
+    p_watch.add_argument(
+        "--rebuild-threshold", type=float, default=0.75, metavar="FRAC",
+        help="rebuild the CPI outright when the dirty region exceeds this "
+             "fraction of query vertices (default 0.75)",
+    )
+    p_watch.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the event log as JSON to PATH ('-' or bare flag: stdout)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
+
     p_ingest = sub.add_parser(
         "ingest",
         help="serialize a data graph to the binary CSR layout (mmap-loadable "
@@ -505,6 +609,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--no-metamorphic", action="store_true",
         help="differential checks only",
+    )
+    p_fuzz.add_argument(
+        "--dynamic", action="store_true",
+        help="incremental-vs-recompute fuzzing instead: seeded delta "
+             "streams on every scenario, repaired plans checked "
+             "bit-identical to cold re-preparation (both engines)",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
 

@@ -11,6 +11,13 @@ from .core_match import (
 from .cpi import CPI, EMPTY_CANDIDATES, QueryBFSTree
 from .cpi_builder import build_cpi, build_naive_cpi
 from .decomposition import CFLDecomposition, ForestTree, cfl_decompose
+from .dynamic import (
+    ContinuousQuery,
+    DeltaEvent,
+    IncrementalMatcher,
+    RepairState,
+    dirty_region,
+)
 from .filters import cand_verify, full_candidate_check, label_degree_ok, mnd_ok, nlf_ok
 from .leaf_match import (
     LeafNEC,
@@ -111,6 +118,11 @@ __all__ = [
     "CFLDecomposition",
     "ForestTree",
     "cfl_decompose",
+    "ContinuousQuery",
+    "DeltaEvent",
+    "IncrementalMatcher",
+    "RepairState",
+    "dirty_region",
     "cand_verify",
     "full_candidate_check",
     "label_degree_ok",

@@ -27,7 +27,7 @@ from .matcher import CFLMatch, MatchReport, PreparedQuery
 from .parallel import parallel_run
 from .stats import SearchStats, cpi_level_totals, empty_phase_times, monotonic_now
 
-PROFILE_SCHEMA_VERSION = 4
+PROFILE_SCHEMA_VERSION = 5
 
 #: JSON Schema (draft-07 subset) for ``profile_query`` output.  Kept in
 #: lock-step with ``docs/profile.schema.json`` (a test asserts equality).
@@ -111,6 +111,7 @@ PROFILE_SCHEMA: Dict[str, Any] = {
                 "ordering",
                 "enumeration",
                 "segment_attach",
+                "cpi_repair",
             ],
             "additionalProperties": {"type": "number", "minimum": 0},
         },
@@ -143,6 +144,9 @@ PROFILE_SCHEMA: Dict[str, Any] = {
                 "aux_adj_hits",
                 "aux_adj_misses",
                 "aux_adj_bytes",
+                "cpi_repairs",
+                "cpi_rebuilds",
+                "dirty_region_size",
             ],
             "additionalProperties": {"type": "integer", "minimum": 0},
         },

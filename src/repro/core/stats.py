@@ -155,6 +155,22 @@ class SearchStats:
     ``aux_adj_bytes``
         cumulative bytes of auxiliary CSR storage materialized on misses
         (monotonic: eviction does not subtract).
+
+    Incremental repair counters (filled by
+    :class:`~repro.core.dynamic.IncrementalMatcher` when a prepared
+    query is synchronized against a mutated
+    :class:`~repro.graph.dynamic.DynamicGraph`):
+
+    ``cpi_repairs``
+        deltas absorbed by locally repairing the CPI (including the
+        label-disjoint fast path that proves the CPI unchanged).
+    ``cpi_rebuilds``
+        deltas that forced a full re-preparation (dirty region over the
+        threshold, root change, vertex renumbering, or a mutation-log
+        gap).
+    ``dirty_region_size``
+        cumulative number of query vertices inside repaired dirty
+        regions (0 for label-disjoint no-op repairs).
     """
 
     # -- enumeration ---------------------------------------------------
@@ -186,6 +202,10 @@ class SearchStats:
     aux_adj_hits: int = 0
     aux_adj_misses: int = 0
     aux_adj_bytes: int = 0
+    # -- incremental repair --------------------------------------------
+    cpi_repairs: int = 0
+    cpi_rebuilds: int = 0
+    dirty_region_size: int = 0
 
     # ------------------------------------------------------------------
     def merge(self, other: "SearchStats") -> "SearchStats":
@@ -251,9 +271,12 @@ def aggregate_stage_stats(
 #: preparation path (fresh build, cache bypass, ``prepare_from_cpi`` in a
 #: spawn-pool worker) fills all of them, so profile output is never
 #: partially zeroed.  ``segment_attach`` is the shared-memory path's
-#: attach-and-decode cost (zero on in-process preparations).
+#: attach-and-decode cost (zero on in-process preparations);
+#: ``cpi_repair`` is the incremental path's delta-synchronization cost
+#: (zero on every plan that never crossed a graph mutation).
 PHASE_NAMES = (
-    "decomposition", "cpi_build", "ordering", "enumeration", "segment_attach"
+    "decomposition", "cpi_build", "ordering", "enumeration",
+    "segment_attach", "cpi_repair",
 )
 
 

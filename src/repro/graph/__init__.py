@@ -5,6 +5,13 @@ from .bipartite import (
     maximum_bipartite_matching,
     semiperfect_matching_exists,
 )
+from .dynamic import (
+    DELTA_OPS,
+    Delta,
+    DynamicGraph,
+    TouchSet,
+    parse_delta_stream,
+)
 from .directed import (
     DiGraph,
     match_directed,
@@ -42,6 +49,11 @@ __all__ = [
     "has_saturating_matching",
     "maximum_bipartite_matching",
     "semiperfect_matching_exists",
+    "DELTA_OPS",
+    "Delta",
+    "DynamicGraph",
+    "TouchSet",
+    "parse_delta_stream",
     "DiGraph",
     "match_directed",
     "reduce_directed_pair",

@@ -37,6 +37,14 @@ cache.  The rule flags element writes through ``aux_*`` arrays in every
 scanned module except ``core/batch.py`` itself — the cache builder is
 the single sanctioned write site (and it only ever appends to local
 arrays before publication anyway).
+
+The dynamic-matching layer (PR 8) gets a *scoped* exemption rather than
+a module exclusion: in ``core/dynamic.py``, plan mutation is permitted
+only inside functions whose name contains ``repair`` — the incremental
+CPI repair paths, which legitimately rewrite a registered plan between
+syncs.  Anywhere else in that module (registration, continuous-query
+bookkeeping) the frozen-plan contract still applies, so a stray plan
+write outside the repair window is still caught.
 """
 
 from __future__ import annotations
@@ -154,6 +162,10 @@ SEGMENT_MODULES = frozenset(
 )
 SEGMENT_BUFFER_NAMES = frozenset({"buf", "buffer", "words", "view"})
 
+#: modules where plan mutation is sanctioned only inside functions whose
+#: name contains "repair" (the incremental CPI repair paths of PR 8)
+REPAIR_MODULES = frozenset({"src/repro/core/dynamic.py"})
+
 #: the single module allowed to populate auxiliary adjacency entries
 AUX_MODULES = frozenset({"src/repro/core/batch.py"})
 #: the AuxEntry CSR array attributes (named unambiguously for this rule)
@@ -234,12 +246,25 @@ def _aux_writes(module: "ModuleContext") -> List[Diagnostic]:
     return diagnostics
 
 
+def _repair_spans(tree: ast.AST) -> List[tuple]:
+    """Line spans of every function whose name contains ``repair``."""
+    spans: List[tuple] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if "repair" in node.name:
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
 def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
     diagnostics: List[Diagnostic] = []
     if module.relpath in SEGMENT_MODULES:
         diagnostics.extend(_segment_writes(module, module.tree, False))
     if module.relpath not in AUX_MODULES:
         diagnostics.extend(_aux_writes(module))
+    repair_spans = (
+        _repair_spans(module.tree) if module.relpath in REPAIR_MODULES else []
+    )
     for body, env in walk_scopes(module.tree, _infer_env):
         for node in statements_excluding_nested(body):
             if isinstance(node, ast.Assign):
@@ -259,6 +284,11 @@ def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagno
                     if root is None or not derefs:
                         continue
                     if _is_plan_name(root, env):
+                        if any(
+                            start <= node.lineno <= end
+                            for start, end in repair_spans
+                        ):
+                            continue
                         diagnostics.append(
                             module.diagnostic(
                                 RULE.id,

@@ -156,6 +156,7 @@ RULE = register(
         paths=(
             "src/repro/core/batch.py",
             "src/repro/core/core_match.py",
+            "src/repro/core/dynamic.py",
             "src/repro/core/kernel.py",
             "src/repro/core/leaf_match.py",
             "src/repro/core/ordering.py",

@@ -11,6 +11,14 @@ from .corpus import (
     save_reproducer,
 )
 from .differential import Mismatch, differential_check, run_matcher
+from .dynamic import (
+    DYNAMIC_ENGINES,
+    DeltaCase,
+    DynamicFuzzReport,
+    generate_delta_case,
+    incremental_differential_check,
+    run_incremental_fuzz,
+)
 from .engine import FuzzReport, MismatchRecord, run_fuzz
 from .metamorphic import (
     METAMORPHIC_RELATIONS,
@@ -24,22 +32,36 @@ from .oracles import (
     brute_force_embeddings,
     is_brute_force_tractable,
 )
-from .shrinker import ShrinkResult, shrink_case
+from .shrinker import (
+    DeltaShrinkResult,
+    ShrinkResult,
+    shrink_case,
+    shrink_delta_case,
+    stream_applies,
+)
 from .workloads import (
     CONNECTED_QUERY_SCENARIOS,
     DEFAULT_SCENARIOS,
+    DYNAMIC_BASE_SCENARIOS,
     SCENARIOS,
     FuzzCase,
     WorkloadSpec,
+    dynamic_delta_workload,
     generate_case,
     generate_cases,
+    generate_delta_stream,
 )
 
 __all__ = [
     "CONNECTED_QUERY_SCENARIOS",
     "DEFAULT_SCENARIOS",
+    "DYNAMIC_BASE_SCENARIOS",
+    "DYNAMIC_ENGINES",
     "METAMORPHIC_RELATIONS",
     "SCENARIOS",
+    "DeltaCase",
+    "DeltaShrinkResult",
+    "DynamicFuzzReport",
     "FuzzCase",
     "FuzzReport",
     "Mismatch",
@@ -50,8 +72,12 @@ __all__ = [
     "brute_force_embeddings",
     "differential_check",
     "disjoint_union",
+    "dynamic_delta_workload",
     "generate_case",
     "generate_cases",
+    "generate_delta_case",
+    "generate_delta_stream",
+    "incremental_differential_check",
     "graph_from_dict",
     "graph_to_dict",
     "is_brute_force_tractable",
@@ -61,7 +87,10 @@ __all__ = [
     "rename_labels",
     "replay_entry",
     "run_fuzz",
+    "run_incremental_fuzz",
     "run_matcher",
     "save_reproducer",
     "shrink_case",
+    "shrink_delta_case",
+    "stream_applies",
 ]

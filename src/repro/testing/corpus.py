@@ -9,6 +9,11 @@ oracle rather than trusting counts recorded at capture time.
 
 File names embed a content hash so re-discovering the same minimized
 instance is idempotent.
+
+Dynamic reproducers additionally carry a ``deltas`` list (the minimized
+mutation stream, in ``Delta.format`` text form); replay routes those
+through the incremental-vs-recompute differential instead of the static
+matcher registry.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..graph.dynamic import Delta
 from ..graph.graph import Graph
 from .differential import Mismatch, differential_check
 from .oracles import brute_force_count
@@ -48,6 +54,7 @@ def reproducer_dict(
     detail: str,
     scenario: Optional[str] = None,
     seed: Optional[str] = None,
+    deltas: Optional[Sequence[Delta]] = None,
 ) -> Dict:
     """The canonical JSON payload for one minimized reproducer."""
     payload = {
@@ -61,12 +68,18 @@ def reproducer_dict(
         "data": graph_to_dict(data),
         "oracle_count_at_capture": brute_force_count(query, data),
     }
+    if deltas is not None:
+        payload["deltas"] = [delta.format() for delta in deltas]
     return payload
 
 
 def _digest(payload: Dict) -> str:
     key = json.dumps(
-        {k: payload[k] for k in ("kind", "matcher", "query", "data")},
+        {
+            k: payload[k]
+            for k in ("kind", "matcher", "query", "data", "deltas")
+            if k in payload
+        },
         sort_keys=True,
     )
     return hashlib.sha256(key.encode()).hexdigest()[:10]
@@ -82,13 +95,14 @@ def save_reproducer(
     detail: str,
     scenario: Optional[str] = None,
     seed: Optional[str] = None,
+    deltas: Optional[Sequence[Delta]] = None,
 ) -> Path:
     """Write (idempotently) one reproducer file; returns its path."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     payload = reproducer_dict(
         data, query, kind=kind, matcher=matcher, detail=detail,
-        scenario=scenario, seed=seed,
+        scenario=scenario, seed=seed, deltas=deltas,
     )
     path = directory / f"repro-{_digest(payload)}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -113,7 +127,14 @@ def replay_entry(
 
     Forces the brute-force oracle (corpus entries are minimized, hence
     tiny); an empty return means the recorded bug is fixed/absent.
+    Entries carrying a ``deltas`` stream replay through the
+    incremental-vs-recompute differential instead.
     """
     data = graph_from_dict(entry["data"])
     query = graph_from_dict(entry["query"])
+    if entry.get("deltas"):
+        from .dynamic import incremental_differential_check
+
+        deltas = [Delta.parse(line) for line in entry["deltas"]]
+        return incremental_differential_check(data, query, deltas)
     return differential_check(data, query, matchers=matchers, oracle="brute")

@@ -26,6 +26,18 @@ counters* (the observability layer of :mod:`repro.core.stats`):
                                 superset search tree
 ==============================  ========================================
 
+Two dynamic relations (PR 8) extend the oracle to the mutation layer:
+
+==========================  ===========================================
+``delta-commutativity``     applying a delta stream then matching
+                            equals matching on the final graph built
+                            from scratch (incremental index maintenance
+                            is invisible to matchers)
+``insert-remove-inverse``   adding then removing the same edge restores
+                            bit-identical SearchStats candidate counts
+                            through the incremental repair path
+==========================  ===========================================
+
 Relations return ``None`` on success or a human-readable failure detail,
 and skip (return ``None``) on inputs outside their precondition (e.g. a
 disconnected query for ``disjoint-union``).
@@ -38,8 +50,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bench.harness import make_matcher
 from ..core.core_match import SearchTimeout
+from ..core.dynamic import IncrementalMatcher
 from ..core.matcher import CFLMatch
+from ..core.stats import SearchStats
 from ..core.verify import diff_counts, map_embeddings
+from ..graph.dynamic import DynamicGraph
 from ..graph.graph import Graph, GraphError
 from .differential import Mismatch
 
@@ -274,6 +289,77 @@ def relation_stats_filter_ablation(data, query, matcher_name, rng) -> Optional[s
     return None
 
 
+def relation_delta_commutativity(data, query, matcher_name, rng) -> Optional[str]:
+    """Applying a delta stream then matching equals matching on the final
+    graph built from scratch.
+
+    The left side reads the :class:`DynamicGraph`'s incrementally
+    maintained label index and NLF/MND caches; the right side builds the
+    same labels/edges cold.  Any divergence is an index-maintenance bug.
+    """
+    if not query.is_connected():
+        return None
+    from .workloads import generate_delta_stream
+
+    dynamic = DynamicGraph.from_graph(data)
+    deltas = generate_delta_stream(dynamic, rng, rng.randint(3, 8))
+    for delta in deltas:
+        dynamic.apply(delta)
+    incremental = _embedding_set(matcher_name, dynamic, query)
+    rebuilt = _embedding_set(matcher_name, dynamic.to_static(), query)
+    if incremental != rebuilt:
+        stream = ", ".join(d.format() for d in deltas)
+        return (
+            f"delta stream [{stream}] broke commutativity "
+            f"(|incremental|={len(incremental)}, |rebuilt|={len(rebuilt)})"
+        )
+    return None
+
+
+def relation_insert_remove_inverse(data, query, matcher_name, rng) -> Optional[str]:
+    """Adding then removing the same edge is a no-op: the repaired plan's
+    enumeration must restore bit-identical SearchStats candidate counts.
+
+    Matcher-independent: always exercises :class:`IncrementalMatcher`,
+    whose repair path is the machinery under test.
+    """
+    if not query.is_connected():
+        return None
+    non_edges = [
+        (u, v)
+        for u in data.vertices()
+        for v in range(u + 1, data.num_vertices)
+        if not data.has_edge(u, v)
+    ]
+    if not non_edges:
+        return None  # complete data graph: nothing to insert
+    u, v = rng.choice(non_edges)
+    dynamic = DynamicGraph.from_graph(data)
+    matcher = IncrementalMatcher(dynamic, engine="reference")
+    before_stats = SearchStats()
+    before = list(matcher.search(query, stats=before_stats))
+    dynamic.add_edge(u, v)
+    dynamic.remove_edge(u, v)
+    after_stats = SearchStats()
+    after = list(matcher.search(query, stats=after_stats))
+    if before != after:
+        return (
+            f"insert+remove of edge ({u}, {v}) changed the embedding list "
+            f"({len(before)} -> {len(after)})"
+        )
+    if before_stats.to_dict() != after_stats.to_dict():
+        diffs = {
+            name: (before_stats.to_dict()[name], after_stats.to_dict()[name])
+            for name in before_stats.to_dict()
+            if before_stats.to_dict()[name] != after_stats.to_dict()[name]
+        }
+        return (
+            f"insert+remove of edge ({u}, {v}) did not restore "
+            f"search counters: {diffs}"
+        )
+    return None
+
+
 METAMORPHIC_RELATIONS: Dict[str, Relation] = {
     "vertex-permutation": relation_vertex_permutation,
     "label-renaming": relation_label_renaming,
@@ -282,6 +368,8 @@ METAMORPHIC_RELATIONS: Dict[str, Relation] = {
     "filter-ablation": relation_filter_ablation,
     "stats-vertex-permutation": relation_stats_vertex_permutation,
     "stats-filter-ablation": relation_stats_filter_ablation,
+    "delta-commutativity": relation_delta_commutativity,
+    "insert-remove-inverse": relation_insert_remove_inverse,
 }
 
 

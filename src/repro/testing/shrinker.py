@@ -13,16 +13,25 @@ are small enough that the linear variant converges quickly):
 repeated until a full sweep makes no progress.  The predicate decides
 what "still failing" means; :mod:`repro.testing.engine` builds it from
 the original mismatch (same matcher, same kind of disagreement).
+
+:func:`shrink_delta_case` extends the loop to dynamic instances: it
+first minimizes the failing *delta stream* (one-delta-at-a-time ddmin,
+guarded so only streams that still apply cleanly count as failing),
+then shrinks both graphs with the surviving stream pinned — a graph
+reduction that breaks the stream's applicability is simply "not
+failing" and rejected.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Sequence, Tuple
 
+from ..graph.dynamic import Delta, DynamicGraph
 from ..graph.graph import Graph
 
 Predicate = Callable[[Graph, Graph], bool]
+DeltaPredicate = Callable[[Graph, Graph, Tuple[Delta, ...]], bool]
 
 
 @dataclass
@@ -118,3 +127,99 @@ def shrink_case(
                 progress = True
 
     return ShrinkResult(data=data, query=query, checks=checks, rounds=rounds)
+
+
+# ----------------------------------------------------------------------
+# Delta-stream shrinking
+# ----------------------------------------------------------------------
+@dataclass
+class DeltaShrinkResult:
+    data: Graph
+    query: Graph
+    deltas: Tuple[Delta, ...]
+    checks: int
+    rounds: int
+
+
+def stream_applies(data: Graph, deltas: Sequence[Delta]) -> bool:
+    """Whether ``deltas`` applies cleanly, in order, starting from ``data``."""
+    scratch = DynamicGraph.from_graph(data)
+    for delta in deltas:
+        if not scratch.can_apply(delta):
+            return False
+        scratch.apply(delta)
+    return True
+
+
+def shrink_delta_case(
+    data: Graph,
+    query: Graph,
+    deltas: Sequence[Delta],
+    failing: DeltaPredicate,
+    max_checks: int = 4000,
+) -> DeltaShrinkResult:
+    """Minimize ``(data, query, deltas)`` while ``failing`` stays true.
+
+    Stream first (removing a delta often removes the bug, so the stream
+    converges fast), then graphs with the stream pinned.  A candidate
+    whose stream no longer applies cleanly — e.g. a data reduction that
+    renumbered an endpoint away — counts as not failing, exactly like a
+    predicate exception in :func:`shrink_case`.
+    """
+    checks = 0
+    stream = tuple(deltas)
+
+    def still_fails(d: Graph, q: Graph, s: Tuple[Delta, ...]) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            return stream_applies(d, s) and bool(failing(d, q, s))
+        except Exception:  # noqa: BLE001 — see shrink_case docstring
+            return False
+
+    if not still_fails(data, query, stream):
+        raise ValueError("shrink_delta_case requires an initially failing instance")
+
+    rounds = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        rounds += 1
+
+        # 1. drop trailing deltas wholesale (the failure usually
+        # manifests at some prefix; everything after is free to cut).
+        while len(stream) > 0 and still_fails(data, query, stream[:-1]):
+            stream = stream[:-1]
+            progress = True
+
+        # 2. one-delta-at-a-time removal, last first (later deltas
+        # depend on earlier ones, not vice versa).
+        i = len(stream) - 1
+        while i >= 0:
+            candidate = stream[:i] + stream[i + 1:]
+            if still_fails(data, query, candidate):
+                stream = candidate
+                progress = True
+            i -= 1
+
+        # 3. shrink both graphs with the surviving stream pinned.
+        before = (data.num_vertices, data.num_edges,
+                  query.num_vertices, query.num_edges)
+        try:
+            inner = shrink_case(
+                data, query,
+                lambda d, q: still_fails(d, q, stream),
+                max_checks=max(1, max_checks - checks),
+            )
+            data, query = inner.data, inner.query
+        except ValueError:
+            pass  # budget exhausted mid-sweep: keep current graphs
+        if (data.num_vertices, data.num_edges,
+                query.num_vertices, query.num_edges) != before:
+            progress = True
+
+    return DeltaShrinkResult(
+        data=data, query=query, deltas=stream, checks=checks, rounds=rounds
+    )

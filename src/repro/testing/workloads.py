@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Tuple
 
+from ..graph.dynamic import Delta, DynamicGraph
 from ..graph.generators import (
     add_similar_vertices,
     power_law_labels,
@@ -234,6 +235,102 @@ def _scenario_twins(rng, spec):
     return data, _nec_heavy_query(rng, data)
 
 
+# ----------------------------------------------------------------------
+# Dynamic-delta workloads
+# ----------------------------------------------------------------------
+def generate_delta_stream(
+    base: Graph,
+    rng: random.Random,
+    length: int = 8,
+    min_vertices: int = 3,
+) -> List[Delta]:
+    """A seeded stream of ``length`` mutations, valid when applied in
+    order to ``base``.
+
+    Weighted toward edge churn (the continuous-query regime): ~40%
+    ``add_edge``, ~30% ``remove_edge``, ~15% ``add_vertex`` (label drawn
+    from the base alphabet, occasionally a fresh one), ~15%
+    ``remove_vertex`` (never shrinking below ``min_vertices``).  The
+    stream is generated against a scratch copy so every delta is
+    applicable at its position.
+    """
+    scratch = DynamicGraph.from_graph(base)
+    alphabet = sorted(set(base.labels)) or [0]
+    fresh_label = max(alphabet) + 1
+    deltas: List[Delta] = []
+    while len(deltas) < length:
+        n = scratch.num_vertices
+        roll = rng.random()
+        delta: Delta
+        if roll < 0.40 and n >= 2:
+            delta = Delta.add_edge(rng.randrange(n), rng.randrange(n))
+        elif roll < 0.70 and scratch.num_edges > 0:
+            edges = list(scratch.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            delta = Delta.remove_edge(u, v)
+        elif roll < 0.85:
+            label = fresh_label if rng.random() < 0.15 else rng.choice(alphabet)
+            delta = Delta.add_vertex(label)
+        elif n > min_vertices:
+            delta = Delta.remove_vertex(rng.randrange(n))
+        else:
+            continue
+        if not scratch.can_apply(delta):
+            continue
+        scratch.apply(delta)
+        deltas.append(delta)
+    return deltas
+
+
+#: Base scenarios a dynamic-delta case can start from (captured before
+#: the dynamic scenario registers itself, so it never recurses).
+DYNAMIC_BASE_SCENARIOS: Tuple[str, ...] = (
+    "uniform",
+    "dense",
+    "sparse-forest",
+    "skewed-labels",
+    "nec-heavy",
+    "empty-result",
+    "single-vertex",
+    "disconnected-data",
+    "disconnected-query",
+    "twins",
+)
+
+
+def dynamic_delta_workload(
+    rng: random.Random,
+    spec: WorkloadSpec,
+    base_scenario: str = "",
+    stream_length: Tuple[int, int] = (4, 12),
+) -> Tuple[Graph, Graph, List[Delta]]:
+    """A base case from an existing scenario plus a seeded delta stream.
+
+    Returns ``(base_data, query, deltas)`` — the *pre-mutation* data
+    graph and the stream, so callers choose what to exercise: the
+    incremental differential harness replays the stream step-by-step,
+    while the fuzz scenario below hands the *mutated* ``DynamicGraph``
+    to the static matcher registry (differentially testing the
+    incrementally-maintained label index and NLF/MND caches).
+    """
+    name = base_scenario or rng.choice(DYNAMIC_BASE_SCENARIOS)
+    data, query = SCENARIOS[name](rng, spec)
+    deltas = generate_delta_stream(data, rng, _span(rng, stream_length))
+    return data, query, deltas
+
+
+def _scenario_dynamic_delta(rng, spec):
+    """Mutation-churned data: a base scenario's graph pushed through a
+    delta stream.  The returned data graph *is* the ``DynamicGraph``, so
+    every downstream matcher and oracle reads the incrementally
+    maintained indexes rather than freshly built ones."""
+    data, query, deltas = dynamic_delta_workload(rng, spec)
+    dynamic = DynamicGraph.from_graph(data)
+    for delta in deltas:
+        dynamic.apply(delta)
+    return dynamic, query
+
+
 SCENARIOS: Dict[str, Callable[[random.Random, WorkloadSpec], Tuple[Graph, Graph]]] = {
     "uniform": _scenario_uniform,
     "dense": _scenario_dense,
@@ -245,13 +342,18 @@ SCENARIOS: Dict[str, Callable[[random.Random, WorkloadSpec], Tuple[Graph, Graph]
     "disconnected-data": _scenario_disconnected_data,
     "disconnected-query": _scenario_disconnected_query,
     "twins": _scenario_twins,
+    "dynamic-delta": _scenario_dynamic_delta,
 }
 
 DEFAULT_SCENARIOS: Tuple[str, ...] = tuple(SCENARIOS)
 
-#: Scenario subset safe for matchers that require connected queries.
+#: Scenario subset safe for matchers that require connected queries
+#: ("dynamic-delta" inherits its base scenario's query, which may be
+#: disconnected).
 CONNECTED_QUERY_SCENARIOS: Tuple[str, ...] = tuple(
-    name for name in SCENARIOS if name != "disconnected-query"
+    name
+    for name in SCENARIOS
+    if name not in ("disconnected-query", "dynamic-delta")
 )
 
 

@@ -37,8 +37,8 @@ class TestProfileCommand:
         assert payload["status"] == "ok"
         assert len(payload["counters"]) >= 10
         assert set(payload["phase_times_s"]) == {
-            "decomposition", "cpi_build", "ordering", "enumeration",
-            "segment_attach",
+            "decomposition", "cpi_build", "cpi_repair", "ordering",
+            "enumeration", "segment_attach",
         }
 
     def test_out_writes_the_same_json(self, graph_files, tmp_path, capsys):

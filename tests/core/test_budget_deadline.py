@@ -95,8 +95,8 @@ class TestDeadlineTruncation:
         assert report.embeddings == 0
         assert report.cpi_size == 0
         assert set(report.phase_times) == {
-            "decomposition", "cpi_build", "ordering", "enumeration",
-            "segment_attach",
+            "decomposition", "cpi_build", "cpi_repair", "ordering",
+            "enumeration", "segment_attach",
         }
         counters = report.counters()
         assert SearchStats.from_dict(counters).to_dict() == counters

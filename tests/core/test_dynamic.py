@@ -1,0 +1,305 @@
+"""Dynamic-matching suite: incremental repair must be invisible.
+
+The contract under test (see ``repro/core/dynamic.py``):
+
+* after any valid delta stream, an :class:`IncrementalMatcher` returns
+  bit-identical embeddings, enumeration order, full enumeration
+  ``SearchStats`` and CPI payload to a cold matcher prepared from
+  scratch on the mutated graph — on every fuzz scenario, for both the
+  reference and kernel engines;
+* the repair/rebuild decision (threshold, label-disjoint no-op,
+  renumbering, mutation-log gap) changes only the ``cpi_repairs`` /
+  ``cpi_rebuilds`` / ``dirty_region_size`` accounting, never results;
+* the initial (traced) build produces exactly the same build counters
+  as the production CPI builder;
+* :class:`ContinuousQuery` reports exact created/tombstone streams.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dynamic import (
+    ContinuousQuery,
+    IncrementalMatcher,
+    dirty_region,
+)
+from repro.core.matcher import CFLMatch
+from repro.core.stats import SearchStats
+from repro.graph.dynamic import Delta, DynamicGraph
+from repro.graph.graph import Graph, GraphError
+from repro.testing.dynamic import (
+    DYNAMIC_ENGINES,
+    generate_delta_case,
+    incremental_differential_check,
+)
+from repro.testing.workloads import (
+    DYNAMIC_BASE_SCENARIOS,
+    WorkloadSpec,
+    generate_case,
+    generate_delta_stream,
+)
+
+
+def small_instance():
+    """A hand-checkable instance: query = one (label 0)-(label 1) edge.
+
+    Data has exactly two matching edges — embeddings (0, 2) and (1, 3) —
+    plus a (label 2)-(label 2) edge entirely outside the query's labels.
+    """
+    data = DynamicGraph([0, 0, 1, 1, 2, 2], [(0, 2), (1, 3), (4, 5)])
+    query = Graph([0, 1], [(0, 1)])
+    return data, query
+
+
+def embeddings_of(matcher, query):
+    return list(matcher.search(query))
+
+
+# ----------------------------------------------------------------------
+# Differential: incremental repair vs cold re-prepare
+# ----------------------------------------------------------------------
+class TestIncrementalDifferential:
+    @pytest.mark.parametrize("scenario", DYNAMIC_BASE_SCENARIOS)
+    @pytest.mark.parametrize("index", [0, 1])
+    def test_scenarios_match_recompute(self, scenario, index):
+        """Embeddings, order, stats and CPI agree at every stream step,
+        for both engines (``incremental_differential_check`` compares
+        all four after each delta)."""
+        case = generate_delta_case(
+            101, index, spec=WorkloadSpec(scenarios=(scenario,))
+        )
+        assert case.scenario == scenario
+        mismatches = incremental_differential_check(
+            case.data, case.query, case.deltas
+        )
+        assert mismatches == [], [m.detail for m in mismatches]
+
+    @pytest.mark.parametrize("engine", DYNAMIC_ENGINES)
+    @pytest.mark.parametrize("threshold", [0.0, 0.4, 1.0])
+    def test_thresholds_do_not_change_results(self, engine, threshold):
+        """Any repair/rebuild mix is result-invisible."""
+        case = generate_delta_case(77, 3)
+        mismatches = incremental_differential_check(
+            case.data, case.query, case.deltas,
+            engines=(engine,), rebuild_threshold=threshold,
+        )
+        assert mismatches == [], [m.detail for m in mismatches]
+
+    def test_stats_equality_is_full_dict(self):
+        """The differential compares the *complete* counter dict: a
+        sequential incremental enumeration reproduces every counter of a
+        cold prepare-and-enumerate, not just the embedding count."""
+        case = generate_delta_case(13, 2)
+        dynamic = DynamicGraph.from_graph(case.data)
+        inc = IncrementalMatcher(dynamic, engine="reference")
+        for delta in case.deltas:
+            dynamic.apply(delta)
+        inc_stats = SearchStats()
+        got = list(inc.search(case.query, stats=inc_stats))
+        cold = CFLMatch(dynamic.to_static(), engine="reference")
+        cold_stats = SearchStats()
+        want = list(cold.search(case.query, stats=cold_stats))
+        assert got == want
+        assert inc_stats.to_dict() == cold_stats.to_dict()
+
+    def test_workers_match_sequential_on_mutated_graph(self):
+        """A mutated DynamicGraph feeds the parallel path unchanged."""
+        from repro.core.parallel import parallel_search_iter
+
+        case = generate_case(
+            5, 0, WorkloadSpec(scenarios=("dense",),
+                               data_vertices=(30, 30), query_vertices=(5, 5))
+        )
+        dynamic = DynamicGraph.from_graph(case.data)
+        inc = IncrementalMatcher(dynamic)
+        rng = random.Random(99)
+        for delta in generate_delta_stream(case.data, rng, length=6):
+            dynamic.apply(delta)
+        sequential = sorted(inc.search(case.query))
+        parallel = sorted(
+            parallel_search_iter(dynamic, case.query, workers=4)
+        )
+        assert parallel == sequential
+
+
+# ----------------------------------------------------------------------
+# Repair/rebuild dispatch and accounting
+# ----------------------------------------------------------------------
+class TestRepairDispatch:
+    def test_constructor_guards(self):
+        data, _ = small_instance()
+        with pytest.raises(TypeError):
+            IncrementalMatcher(data.to_static())
+        with pytest.raises(ValueError):
+            IncrementalMatcher(data, rebuild_threshold=1.5)
+        with pytest.raises(ValueError):
+            IncrementalMatcher(data, rebuild_threshold=-0.1)
+
+    def test_empty_query_rejected(self):
+        data, _ = small_instance()
+        inc = IncrementalMatcher(data)
+        with pytest.raises(GraphError):
+            inc.prepare(Graph([], []))
+
+    def test_label_disjoint_delta_is_noop(self):
+        """A delta outside the query's labels keeps the plan object."""
+        data, query = small_instance()
+        inc = IncrementalMatcher(data)
+        before = inc.prepare(query)
+        data.remove_edge(4, 5)
+        after = inc.prepare(query)
+        assert after is before
+        assert before.build_stats.cpi_repairs == 1
+        assert before.build_stats.cpi_rebuilds == 0
+        assert before.build_stats.dirty_region_size == 0
+        assert embeddings_of(inc, query) == [(0, 2), (1, 3)]
+
+    def test_dirty_delta_repairs_below_threshold(self):
+        data, query = small_instance()
+        inc = IncrementalMatcher(data, rebuild_threshold=1.0)
+        inc.prepare(query)
+        data.add_edge(0, 3)
+        stats = inc.prepare(query).build_stats
+        assert stats.cpi_repairs == 1
+        assert stats.cpi_rebuilds == 0
+        assert stats.dirty_region_size == len(
+            dirty_region(query, frozenset({0, 1}))
+        )
+        assert embeddings_of(inc, query) == [(0, 2), (0, 3), (1, 3)]
+
+    def test_zero_threshold_always_rebuilds_when_dirty(self):
+        data, query = small_instance()
+        inc = IncrementalMatcher(data, rebuild_threshold=0.0)
+        inc.prepare(query)
+        data.add_edge(0, 3)
+        stats = inc.prepare(query).build_stats
+        assert stats.cpi_repairs == 0
+        assert stats.cpi_rebuilds == 1
+        assert embeddings_of(inc, query) == [(0, 2), (0, 3), (1, 3)]
+
+    def test_renumbering_removal_forces_rebuild(self):
+        data, query = small_instance()
+        inc = IncrementalMatcher(data)
+        inc.prepare(query)
+        data.remove_vertex(0)          # vertex 5 is renumbered to 0
+        stats = inc.prepare(query).build_stats
+        assert stats.cpi_rebuilds == 1
+        cold = CFLMatch(data.to_static())
+        assert embeddings_of(inc, query) == list(cold.search(query))
+
+    def test_mutation_log_gap_forces_rebuild(self):
+        data = DynamicGraph(
+            [0, 0, 1, 1, 2, 2], [(0, 2), (1, 3), (4, 5)], log_limit=2
+        )
+        query = Graph([0, 1], [(0, 1)])
+        inc = IncrementalMatcher(data)
+        inc.prepare(query)
+        data.add_edge(0, 3)
+        data.add_edge(1, 2)
+        data.remove_edge(0, 3)          # log keeps only the last 2 touches
+        assert data.touches_since(0) is None
+        stats = inc.prepare(query).build_stats
+        assert stats.cpi_rebuilds == 1
+        assert stats.cpi_repairs == 0
+        assert embeddings_of(inc, query) == [(0, 2), (1, 2), (1, 3)]
+
+    def test_initial_build_counters_match_production_builder(self):
+        """The traced sweep IS the builder when everything is dirty."""
+        for index in range(4):
+            case = generate_delta_case(31, index)
+            dynamic = DynamicGraph.from_graph(case.data)
+            inc = IncrementalMatcher(dynamic)
+            traced = inc.prepare(case.query).build_stats
+            cold = CFLMatch(dynamic.to_static())
+            want = cold.prepare(case.query, use_cache=False).build_stats
+            assert traced.to_dict() == want.to_dict()
+
+    def test_registration_lifecycle(self):
+        data, query = small_instance()
+        inc = IncrementalMatcher(data)
+        assert inc.registration_count() == 0
+        first = inc.prepare(query)
+        assert inc.registration_count() == 1
+        assert inc.prepare(query) is first      # same version: cached
+        assert inc.forget(query)
+        assert not inc.forget(query)
+        assert inc.registration_count() == 0
+
+    def test_count_and_limit_delegate(self):
+        data, query = small_instance()
+        inc = IncrementalMatcher(data)
+        data.add_edge(0, 3)
+        assert inc.count(query) == 3
+        assert len(list(inc.search(query, limit=2))) == 2
+        report = inc.run(query, collect=True)
+        assert report.embeddings == 3
+        assert report.results == [(0, 2), (0, 3), (1, 3)]
+
+
+# ----------------------------------------------------------------------
+# Continuous queries: created / tombstone streams
+# ----------------------------------------------------------------------
+class TestContinuousQuery:
+    def test_created_and_tombstone_streams(self):
+        data, query = small_instance()
+        watch = ContinuousQuery(IncrementalMatcher(data), query)
+        assert watch.embeddings == ((0, 2), (1, 3))
+
+        event = watch.apply(Delta.add_edge(0, 3))
+        assert event.version == 1
+        assert event.created == ((0, 3),)
+        assert event.destroyed == ()
+        assert event.total == 3
+
+        event = watch.apply(Delta.remove_edge(1, 3))
+        assert event.created == ()
+        assert event.destroyed == ((1, 3),)
+        assert event.total == 2
+        assert watch.embeddings == ((0, 2), (0, 3))
+
+    def test_label_disjoint_delta_yields_empty_event(self):
+        data, query = small_instance()
+        watch = ContinuousQuery(IncrementalMatcher(data), query)
+        event = watch.apply(Delta.remove_edge(4, 5))
+        assert event.created == () and event.destroyed == ()
+        assert event.total == 2
+
+    def test_feed_replays_stream_lazily(self):
+        data, query = small_instance()
+        watch = ContinuousQuery(IncrementalMatcher(data), query)
+        deltas = [Delta.add_edge(0, 3), Delta.add_edge(1, 2),
+                  Delta.remove_edge(0, 2)]
+        events = list(watch.feed(deltas))
+        assert [e.version for e in events] == [1, 2, 3]
+        assert [e.delta for e in events] == deltas
+        assert events[-1].destroyed == ((0, 2),)
+        assert watch.embeddings == ((0, 3), (1, 2), (1, 3))
+
+    def test_events_agree_with_brute_recompute(self):
+        """On a fuzz case, each event's diff equals the set difference
+        of cold result sets before/after the delta."""
+        case = generate_delta_case(57, 1)
+        dynamic = DynamicGraph.from_graph(case.data)
+        watch = ContinuousQuery(IncrementalMatcher(dynamic), case.query)
+        for delta in case.deltas:
+            before = set(
+                CFLMatch(dynamic.to_static()).search(case.query)
+            )
+            event = watch.apply(delta)
+            after = set(
+                CFLMatch(dynamic.to_static()).search(case.query)
+            )
+            assert set(event.created) == after - before
+            assert set(event.destroyed) == before - after
+            assert event.total == len(after)
+
+    def test_limit_tracks_enumeration_prefix(self):
+        data, query = small_instance()
+        watch = ContinuousQuery(IncrementalMatcher(data), query, limit=1)
+        assert watch.embeddings == ((0, 2),)
+        # Killing the tracked embedding promotes the next one into view.
+        event = watch.apply(Delta.remove_edge(0, 2))
+        assert event.destroyed == ((0, 2),)
+        assert event.created == ((1, 3),)
+        assert event.total == 1

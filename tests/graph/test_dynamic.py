@@ -1,0 +1,176 @@
+"""DynamicGraph suite: mutation must be invisible to every reader.
+
+The contract under test (see ``repro/graph/dynamic.py``): after any
+valid mutation stream, every accessor — adjacency, neighbor sets, the
+lazily-cached label index, NLF and MND — equals a from-scratch
+:class:`Graph` built from the current labels and edges, whether the
+caches were materialized before the stream (incremental maintenance) or
+after it (cold build).  The touch log records exactly what a plan-level
+consumer must re-examine.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.dynamic import (
+    DELTA_OPS,
+    Delta,
+    DynamicGraph,
+    parse_delta_stream,
+)
+from repro.graph.graph import Graph, GraphError
+from repro.testing.workloads import (
+    WorkloadSpec,
+    generate_case,
+    generate_delta_stream,
+)
+
+
+def assert_indexes_match_rebuild(dynamic: DynamicGraph) -> None:
+    """Every derived structure equals a cold rebuild's."""
+    rebuilt = Graph(list(dynamic.labels), dynamic.edges())
+    assert dynamic.num_vertices == rebuilt.num_vertices
+    assert dynamic.num_edges == rebuilt.num_edges
+    assert {k: list(v) for k, v in dynamic.label_index().items()} == \
+        {k: list(v) for k, v in rebuilt.label_index().items()}
+    for v in rebuilt.vertices():
+        assert list(dynamic.neighbors(v)) == list(rebuilt.neighbors(v))
+        assert set(dynamic.neighbor_set(v)) == set(rebuilt.neighbor_set(v))
+        assert dynamic.degree(v) == rebuilt.degree(v)
+        assert dynamic.nlf(v) == rebuilt.nlf(v)
+        assert dynamic.mnd(v) == rebuilt.mnd(v)
+
+
+class TestDelta:
+    def test_parse_format_round_trip(self):
+        for line in ("ae 3 7", "re 0 1", "av 5", "rv 2"):
+            assert Delta.parse(line).format() == line
+
+    def test_ops_registry(self):
+        assert set(DELTA_OPS) == {
+            "add_edge", "remove_edge", "add_vertex", "remove_vertex"
+        }
+
+    @pytest.mark.parametrize("line", ["", "xx 1 2", "ae 1", "av 1 2", "ae a b"])
+    def test_parse_rejects_malformed(self, line):
+        with pytest.raises((GraphError, ValueError)):
+            Delta.parse(line)
+
+    def test_parse_delta_stream_skips_comments(self):
+        text = "# header\n\nae 0 1\n  # indented comment\nrv 3\n"
+        assert [d.format() for d in parse_delta_stream(text)] == \
+            ["ae 0 1", "rv 3"]
+
+
+class TestIndexMaintenance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_warm_caches_track_random_streams(self, seed):
+        """Caches materialized *before* mutating are maintained in place
+        and checked against a cold rebuild after every single delta."""
+        case = generate_case(seed, seed, WorkloadSpec())
+        dynamic = DynamicGraph.from_graph(case.data)
+        # Materialize all lazy caches so the incremental paths run.
+        dynamic.label_index()
+        if dynamic.num_vertices:
+            dynamic.nlf(0)
+            dynamic.mnd(0)
+        rng = random.Random(f"maintenance:{seed}")
+        for delta in generate_delta_stream(case.data, rng, length=14):
+            dynamic.apply(delta)
+            assert_indexes_match_rebuild(dynamic)
+
+    def test_cold_caches_after_stream(self):
+        """Caches first touched after the stream see the final state."""
+        case = generate_case(3, 1, WorkloadSpec())
+        dynamic = DynamicGraph.from_graph(case.data)
+        rng = random.Random("cold")
+        for delta in generate_delta_stream(case.data, rng, length=10):
+            dynamic.apply(delta)
+        assert_indexes_match_rebuild(dynamic)
+
+    def test_swap_remove_renumbers_last_vertex(self):
+        dynamic = DynamicGraph([0, 1, 2], [(0, 1), (1, 2)])
+        dynamic.label_index()
+        dynamic.remove_vertex(0)        # vertex 2 takes over id 0
+        assert list(dynamic.labels) == [2, 1]
+        assert dynamic.has_edge(0, 1)
+        assert_indexes_match_rebuild(dynamic)
+
+    def test_to_static_is_independent(self):
+        dynamic = DynamicGraph([0, 1], [(0, 1)])
+        frozen = dynamic.to_static()
+        dynamic.remove_edge(0, 1)
+        assert frozen.has_edge(0, 1)
+        assert not dynamic.has_edge(0, 1)
+
+    def test_mutation_errors(self):
+        dynamic = DynamicGraph([0, 1], [(0, 1)])
+        with pytest.raises(GraphError):
+            dynamic.add_edge(0, 0)      # self-loop
+        with pytest.raises(GraphError):
+            dynamic.add_edge(0, 1)      # duplicate
+        with pytest.raises(GraphError):
+            dynamic.remove_edge(1, 0) or dynamic.remove_edge(1, 0)
+        with pytest.raises(GraphError):
+            dynamic.remove_edge(0, 1)   # already gone
+        with pytest.raises(GraphError):
+            dynamic.add_edge(0, 9)      # unknown vertex
+        # Failed mutations must not bump the version.
+        assert dynamic.version == 1
+
+
+class TestTouchLog:
+    def test_version_is_monotonic(self):
+        dynamic = DynamicGraph([0, 0], [])
+        assert dynamic.version == 0
+        dynamic.add_edge(0, 1)
+        dynamic.add_vertex(3)
+        dynamic.remove_edge(0, 1)
+        assert dynamic.version == 3
+
+    def test_touches_report_labels_and_renumbering(self):
+        dynamic = DynamicGraph([0, 1, 2], [(0, 1), (1, 2)])
+        dynamic.add_vertex(7)
+        dynamic.remove_vertex(0)        # renumbers vertex 3 into slot 0
+        touches = dynamic.touches_since(0)
+        assert [t.version for t in touches] == [1, 2]
+        assert touches[0].labels == frozenset({7})
+        assert not touches[0].renumbered
+        assert 0 in touches[1].labels   # the removed vertex's label
+        assert touches[1].renumbered
+        assert dynamic.touches_since(dynamic.version) == []
+
+    def test_bounded_log_reports_gap(self):
+        dynamic = DynamicGraph([0, 0, 0], [], log_limit=2)
+        dynamic.add_edge(0, 1)
+        dynamic.add_edge(1, 2)
+        assert dynamic.touches_since(0) is not None
+        dynamic.add_edge(0, 2)          # evicts the version-1 entry
+        assert dynamic.touches_since(0) is None
+        assert dynamic.touches_since(1) is not None
+
+    def test_apply_matches_can_apply_on_random_streams(self):
+        """``can_apply`` exactly predicts whether ``apply`` succeeds."""
+        rng = random.Random("agreement")
+        dynamic = DynamicGraph([rng.randrange(3) for _ in range(6)], [])
+        for _ in range(300):
+            op = rng.choice(list(DELTA_OPS))
+            n = dynamic.num_vertices
+            if op == "add_edge":
+                delta = Delta.add_edge(rng.randrange(n + 1), rng.randrange(n + 1))
+            elif op == "remove_edge":
+                delta = Delta.remove_edge(rng.randrange(n + 1), rng.randrange(n + 1))
+            elif op == "add_vertex":
+                delta = Delta.add_vertex(rng.randrange(4))
+            else:
+                delta = Delta.remove_vertex(rng.randrange(n + 1))
+            if dynamic.num_vertices == 0 and op != "add_vertex":
+                continue
+            if dynamic.can_apply(delta):
+                dynamic.apply(delta)
+            else:
+                before = dynamic.version
+                with pytest.raises(GraphError):
+                    dynamic.apply(delta)
+                assert dynamic.version == before

@@ -381,6 +381,42 @@ class TestR003:
         )
         assert diags == []
 
+    # -- the dynamic-repair carve-out (PR 8) ---------------------------
+    def test_repair_function_in_dynamic_module_is_exempt(self):
+        diags = run(
+            """
+            def _repair_sync(self, reg):
+                prepared = reg.prepared
+                prepared.phase_times["cpi_repair"] = 0.0
+            """,
+            "src/repro/core/dynamic.py",
+            select=["R003"],
+        )
+        assert diags == []
+
+    def test_non_repair_function_in_dynamic_module_still_fires(self):
+        diags = run(
+            """
+            def register(self, query):
+                prepared = self._matcher.prepare(query)
+                prepared.order = []
+            """,
+            "src/repro/core/dynamic.py",
+            select=["R003"],
+        )
+        assert [d.rule for d in diags] == ["R003"]
+
+    def test_repair_function_outside_dynamic_module_still_fires(self):
+        diags = run(
+            """
+            def repair_plan(plan):
+                plan.order = []
+            """,
+            "src/repro/core/parallel.py",
+            select=["R003"],
+        )
+        assert [d.rule for d in diags] == ["R003"]
+
 
 # ----------------------------------------------------------------------
 # R004 deterministic-iteration

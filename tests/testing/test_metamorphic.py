@@ -198,9 +198,11 @@ class TestMetamorphicCheck:
 
     def test_registry_has_all_relations(self):
         assert sorted(METAMORPHIC_RELATIONS) == [
+            "delta-commutativity",
             "disjoint-union",
             "edge-monotonicity",
             "filter-ablation",
+            "insert-remove-inverse",
             "label-renaming",
             "stats-filter-ablation",
             "stats-vertex-permutation",

@@ -94,3 +94,61 @@ class TestShrinkRealMismatch:
         assert result.query.num_vertices == 1
         assert result.data.num_vertices == 1
         assert result.data.label(0) == result.query.label(0)
+
+
+class TestDeltaShrink:
+    def _case(self):
+        from repro.testing.dynamic import generate_delta_case
+
+        return generate_delta_case(0, 0)
+
+    def test_requires_initially_failing_instance(self):
+        from repro.testing.shrinker import shrink_delta_case
+
+        case = self._case()
+        with pytest.raises(ValueError):
+            shrink_delta_case(
+                case.data, case.query, case.deltas, lambda d, q, s: False
+            )
+
+    def test_stream_minimized_to_single_witness(self):
+        """A failure needing only one add_edge delta keeps exactly one."""
+        from repro.testing.shrinker import shrink_delta_case, stream_applies
+
+        case = self._case()
+        assert stream_applies(case.data, case.deltas)
+
+        def failing(data, query, stream):
+            return any(d.op == "add_edge" for d in stream)
+
+        result = shrink_delta_case(case.data, case.query, case.deltas, failing)
+        assert len(result.deltas) == 1
+        assert result.deltas[0].op == "add_edge"
+        assert stream_applies(result.data, result.deltas)
+
+    def test_graph_reductions_keep_stream_applicable(self):
+        """Graph shrinking may not orphan a delta endpoint: every kept
+        reduction still lets the surviving stream apply cleanly."""
+        from repro.graph.dynamic import Delta
+        from repro.testing.shrinker import shrink_delta_case, stream_applies
+
+        case = self._case()
+        stream = (Delta.add_vertex(9), Delta.remove_vertex(0))
+
+        def failing(data, query, s):
+            return len(s) == 2
+
+        result = shrink_delta_case(case.data, case.query, stream, failing)
+        assert result.deltas == stream
+        assert stream_applies(result.data, result.deltas)
+
+    def test_inapplicable_stream_counts_as_passing(self):
+        from repro.graph.dynamic import Delta
+        from repro.testing.shrinker import stream_applies
+
+        data = Graph([0, 0], [(0, 1)])
+        assert not stream_applies(data, [Delta.add_edge(0, 1)])   # duplicate
+        assert not stream_applies(data, [Delta.remove_edge(0, 1),
+                                         Delta.remove_edge(0, 1)])
+        assert stream_applies(data, [Delta.remove_edge(0, 1),
+                                     Delta.add_edge(0, 1)])

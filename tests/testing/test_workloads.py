@@ -102,3 +102,53 @@ class TestSpecKnobs:
 
     def test_registry_and_default_agree(self):
         assert set(DEFAULT_SCENARIOS) == set(SCENARIOS)
+
+
+class TestDynamicDeltaWorkloads:
+    def test_delta_streams_are_deterministic_and_valid(self):
+        import random
+
+        from repro.testing.shrinker import stream_applies
+        from repro.testing.workloads import generate_delta_stream
+
+        case = generate_case(9, 2)
+        a = generate_delta_stream(case.data, random.Random("s"), length=10)
+        b = generate_delta_stream(case.data, random.Random("s"), length=10)
+        assert [d.format() for d in a] == [d.format() for d in b]
+        assert stream_applies(case.data, a)
+
+    def test_dynamic_delta_scenario_registered(self):
+        from repro.testing.workloads import DYNAMIC_BASE_SCENARIOS
+
+        assert "dynamic-delta" in SCENARIOS
+        assert "dynamic-delta" in DEFAULT_SCENARIOS
+        assert "dynamic-delta" not in DYNAMIC_BASE_SCENARIOS
+        assert set(DYNAMIC_BASE_SCENARIOS) < set(SCENARIOS)
+
+    def test_dynamic_delta_case_is_mutated_dynamic_graph(self):
+        """The scenario hands matchers the *incrementally maintained*
+        graph object, not a rebuilt snapshot."""
+        from repro.graph.dynamic import DynamicGraph
+        from repro.graph.graph import Graph
+        from repro.testing.workloads import WorkloadSpec
+
+        spec = WorkloadSpec(scenarios=("dynamic-delta",))
+        for index in range(4):
+            case = generate_case(21, index, spec)
+            assert isinstance(case.data, DynamicGraph)
+            assert case.data == Graph(list(case.data.labels),
+                                      case.data.edges())
+
+    def test_dynamic_delta_workload_matches_scenario(self):
+        import random
+
+        from repro.graph.dynamic import DynamicGraph
+        from repro.testing.workloads import WorkloadSpec, dynamic_delta_workload
+
+        base, query, deltas = dynamic_delta_workload(
+            random.Random("w"), WorkloadSpec()
+        )
+        replay = DynamicGraph.from_graph(base)
+        for delta in deltas:
+            replay.apply(delta)
+        assert replay.num_vertices >= 1
