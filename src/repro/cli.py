@@ -353,22 +353,76 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_paths(root: Path, since: str) -> Optional[List[Path]]:
+    """Python files changed vs ``since`` plus untracked ones, or ``None``
+    when git is unavailable / not a work tree."""
+    import subprocess
+
+    commands = [
+        ["git", "diff", "--name-only", since, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    names: List[str] = []
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.extend(line.strip() for line in proc.stdout.splitlines())
+    changed: List[Path] = []
+    seen = set()
+    for name in names:
+        if not name.endswith(".py") or name in seen:
+            continue
+        seen.add(name)
+        path = root / name
+        if path.is_file():
+            changed.append(path)
+    return changed
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from .lint import all_rules, find_root, lint_paths
-    from .lint.reporting import format_rule_list
+    from .lint.reporting import format_rule_list, sarif_dict
 
     if args.list_rules:
         print(format_rule_list(all_rules()))
         return 0
     root = Path(args.root) if args.root else find_root(Path.cwd())
-    paths = [Path(p) for p in args.paths] or [root / "src"]
+    if args.changed:
+        changed = _changed_paths(root, args.since)
+        if changed is None:
+            print(
+                "error: --changed needs git and a work tree at the root",
+                file=sys.stderr,
+            )
+            return 2
+        if args.paths:
+            explicit = {Path(p).resolve() for p in args.paths}
+            changed = [p for p in changed if p.resolve() in explicit]
+        if not changed:
+            print("no changed Python files; nothing to lint")
+            return 0
+        paths = changed
+    else:
+        paths = [Path(p) for p in args.paths] or [root / "src"]
     try:
-        report = lint_paths(paths, root=root, select=args.select)
+        report = lint_paths(
+            paths, root=root, select=args.select, no_cache=args.no_cache
+        )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.sarif:
+        Path(args.sarif).write_text(json.dumps(sarif_dict(report), indent=2) + "\n")
     if args.json == "-":
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -653,6 +707,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    p_lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only Python files changed vs --since plus untracked ones",
+    )
+    p_lint.add_argument(
+        "--since", default="HEAD", metavar="REF",
+        help="git ref --changed diffs against (default: HEAD)",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the dataflow summary cache "
+             "(.lint-cache.json)",
+    )
+    p_lint.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="write a SARIF 2.1.0 report to PATH",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

@@ -441,7 +441,14 @@ def _shared_store(
     if isinstance(data, SharedGraph):
         return data.worker_handle(), None
     store = SharedGraphStore.create(data)
-    return store.worker_handle(), store
+    try:
+        return store.worker_handle(), store
+    except BaseException:
+        # the caller never received the store, so nobody else can unlink
+        # the freshly created segment name
+        store.unlink()
+        store.close()
+        raise
 
 
 def _oneshot_pool(

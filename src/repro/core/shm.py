@@ -980,10 +980,12 @@ class PlanSegment:
         segment = _create_segment(segment_nbytes(sections), None)
         try:
             pack_segment(segment.buf, KIND_PLAN, sections)
+            return cls(segment, owner=True)
         except BaseException:
+            # the caller never received the wrapper, so nobody else can
+            # unlink the freshly created segment name
             segment.unlink()
             raise
-        return cls(segment, owner=True)
 
     @classmethod
     def attach(cls, name: str) -> "PlanSegment":

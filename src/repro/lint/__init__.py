@@ -1,20 +1,24 @@
 """repro-lint: dependency-free static analysis for the CFL-Match repo.
 
-Six AST-based rules encode invariants the test suite cannot see —
-counter/schema lockstep (R001), spawn-safe pool submissions (R002),
-frozen shared plans (R003), deterministic candidate iteration (R004),
-a single clock seam (R005) and no swallowed boundary errors (R006).
-Run via ``cfl-match lint`` or programmatically through
-:func:`lint_paths`.
+Nine rules encode invariants the test suite cannot see.  Six are
+intraprocedural AST checks — counter/schema lockstep (R001), spawn-safe
+pool submissions (R002), frozen shared plans (R003), deterministic
+candidate iteration (R004), a single clock seam (R005) and no swallowed
+boundary errors (R006).  Three run on the interprocedural dataflow
+engine (:mod:`repro.lint.dataflow`): shared-memory segment lifecycle
+(R007), numpy dtype escape (R008) and DynamicGraph mutation-version
+discipline (R009).  Run via ``cfl-match lint`` or programmatically
+through :func:`lint_paths`.
 """
 
 from .analyzer import LintReport, ModuleContext, find_root, lint_paths, lint_source
-from .diagnostics import PARSE_ERROR_RULE, Diagnostic
+from .diagnostics import LINT_ENGINE_VERSION, PARSE_ERROR_RULE, Diagnostic
 from .facts import ProjectFacts
 from .registry import Rule, all_rules, get_rule, select_rules
 
 __all__ = [
     "Diagnostic",
+    "LINT_ENGINE_VERSION",
     "LintReport",
     "ModuleContext",
     "PARSE_ERROR_RULE",

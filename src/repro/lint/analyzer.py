@@ -9,14 +9,20 @@ posix form, which keeps rule scoping identical across platforms.
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from .diagnostics import PARSE_ERROR_RULE, Diagnostic
+from .dataflow import DataflowProject
+from .dataflow.summaries import compute_summaries, load_or_compute
+from .diagnostics import LINT_ENGINE_VERSION, PARSE_ERROR_RULE, Diagnostic
 from .facts import FactError, ProjectFacts
 from .registry import Rule, all_rules, select_rules
 from .suppressions import SuppressionIndex
+
+#: git-ignored summary-cache file at the repo root
+CACHE_FILENAME = ".lint-cache.json"
 
 #: directories never descended into when expanding path arguments
 SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", "build", "dist"})
@@ -30,6 +36,8 @@ class ModuleContext:
     source: str
     tree: ast.Module
     suppressions: SuppressionIndex
+    #: interprocedural context; present iff any selected rule needs it
+    dataflow: Optional[DataflowProject] = None
 
     def diagnostic(self, rule_id: str, node: ast.AST, message: str) -> Diagnostic:
         """A diagnostic anchored at ``node``'s position in this module."""
@@ -51,19 +59,33 @@ class LintReport:
     files_checked: int = 0
     rules: List[Rule] = field(default_factory=list)
     root: str = ""
+    #: wall-clock seconds spent inside each rule's checks, keyed by rule id
+    rule_times_s: Dict[str, float] = field(default_factory=dict)
+    #: summary-cache accounting for the dataflow project (0/0 = no dataflow)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    engine_version: str = LINT_ENGINE_VERSION
 
     @property
     def ok(self) -> bool:
         return not self.diagnostics
 
     def to_dict(self) -> Dict[str, Any]:
+        # version 2 adds engine/timing/cache fields; every version-1 key
+        # keeps its name and shape so old report readers stay working
         return {
-            "version": 1,
+            "version": 2,
+            "engine_version": self.engine_version,
             "root": self.root,
             "files_checked": self.files_checked,
             "rules": [rule.to_dict() for rule in self.rules],
             "diagnostics": [diag.to_dict() for diag in self.diagnostics],
             "suppressed": [diag.to_dict() for diag in self.suppressed],
+            "rule_times_s": {
+                rule_id: round(seconds, 6)
+                for rule_id, seconds in sorted(self.rule_times_s.items())
+            },
+            "summary_cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "ok": self.ok,
         }
 
@@ -116,24 +138,62 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _build_dataflow_project(
+    rules: Sequence[Rule], root: Path, cache_path: Optional[Path]
+) -> Optional[DataflowProject]:
+    """The interprocedural context the dataflow rules share, or ``None``.
+
+    The project spans the union of the dataflow rules' scope files — a
+    handful of concrete module paths, NOT the set of files being linted —
+    so a ``--changed`` run over one file sees the same callee summaries
+    as a full run and reports identically.
+    """
+    patterns = sorted(
+        {pattern for rule in rules if rule.dataflow for pattern in rule.paths}
+    )
+    if not patterns:
+        return None
+    project = DataflowProject()
+    for relpath in patterns:
+        path = root / relpath
+        if not path.is_file():
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        project.add_module(relpath, source)
+    load_or_compute(project, cache_path)
+    return project
+
+
 def lint_paths(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     select: Optional[List[str]] = None,
     facts: Optional[ProjectFacts] = None,
+    no_cache: bool = False,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) against the registered rules.
 
     ``root`` anchors repo-relative rule scoping and the R001 fact sources;
     it is discovered from the first path when omitted.  ``select`` narrows
     to specific rule ids; ``facts`` overrides the parsed project facts
-    (used by tests to feed synthetic counter registries).
+    (used by tests to feed synthetic counter registries).  ``no_cache``
+    skips the persisted dataflow summary cache (``.lint-cache.json``).
     """
     paths = [Path(p) for p in paths]
     if root is None:
         root = find_root(paths[0] if paths else Path.cwd())
     rules = select_rules(select)
     report = LintReport(rules=rules, root=str(root))
+    report.rule_times_s = {rule.id: 0.0 for rule in rules}
+
+    cache_path = None if no_cache else root / CACHE_FILENAME
+    dataflow = _build_dataflow_project(rules, root, cache_path)
+    if dataflow is not None:
+        report.cache_hits = dataflow.cache_hits
+        report.cache_misses = dataflow.cache_misses
 
     if facts is None:
         try:
@@ -153,7 +213,9 @@ def lint_paths(
     if facts is not None:
         for rule in rules:
             if rule.project_check is not None:
+                started = time.perf_counter()
                 report.diagnostics.extend(rule.project_check(facts))
+                report.rule_times_s[rule.id] += time.perf_counter() - started
 
     for path in _collect_files(paths):
         relpath = _relpath(path, root)
@@ -180,9 +242,13 @@ def lint_paths(
             source=source,
             tree=tree,
             suppressions=SuppressionIndex(source),
+            dataflow=dataflow,
         )
         for rule in applicable:
-            for diag in rule.check(module, facts):
+            started = time.perf_counter()
+            diags = rule.check(module, facts)
+            report.rule_times_s[rule.id] += time.perf_counter() - started
+            for diag in diags:
                 if module.suppressions.is_suppressed(diag.rule, diag.line):
                     report.suppressed.append(diag)
                 else:
@@ -206,11 +272,18 @@ def lint_source(
     """
     rules = [rule for rule in select_rules(select) if rule.applies_to(relpath)]
     tree = ast.parse(source, filename=relpath)
+    dataflow: Optional[DataflowProject] = None
+    if any(rule.dataflow for rule in rules):
+        # single-module project: the snippet is the whole analysis world
+        dataflow = DataflowProject()
+        dataflow.add_module(relpath, source, tree)
+        compute_summaries(dataflow)
     module = ModuleContext(
         relpath=relpath,
         source=source,
         tree=tree,
         suppressions=SuppressionIndex(source),
+        dataflow=dataflow,
     )
     diagnostics: List[Diagnostic] = []
     for rule in rules:

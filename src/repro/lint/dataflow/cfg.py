@@ -1,0 +1,474 @@
+"""Per-function control-flow graphs with exception-edge modeling.
+
+The CFG is statement-granular: one node per simple statement, one per
+compound-statement header (the ``if``/``while`` test, the ``for`` iter,
+the ``with`` items), plus synthetic nodes for handler entries, join
+points and ``with``-exit cleanup.  Two distinguished exits capture the
+*kind* of path a state reached them on — ``exit_normal`` (fall-off,
+``return``) and ``exit_raise`` (uncaught exception) — which is what lets
+the resource analysis phrase its obligation as "unlinked on **every**
+exit path", exceptional ones included.
+
+Exception modeling choices (all deliberately may-directional):
+
+* A statement "may raise" iff it contains a call, a ``yield``/``await``
+  (generator resumption can inject ``GeneratorExit``), or is an
+  ``assert``/``raise``.  Attribute and subscript access alone do not
+  create exception edges — that would drown the analyses in impossible
+  paths.
+* Calls whose attribute name is ``close`` or ``unlink`` are modeled as
+  non-raising: the shm layer's cleanup calls are idempotent best-effort
+  by design (PR 6), and an exception edge out of the cleanup itself
+  would flag every correct ``except BaseException: seg.unlink(); raise``
+  block.
+* ``except Exception`` (or any list of non-``BaseException`` types)
+  leaves a **residual** exceptional edge to the next enclosing handler
+  or the exceptional exit: a ``KeyboardInterrupt`` is not caught.  Only
+  a bare ``except`` or an explicit ``except BaseException`` terminates
+  propagation.  This single distinction is why the engine catches the
+  interrupt-path leaks the intraprocedural rules cannot see.
+* ``finally`` bodies are *duplicated* per continuation (normal,
+  exceptional, ``return``, ``break``, ``continue``) — the classic
+  inlining construction — so each copy's successor is the continuation
+  it actually resumes.  ``with`` blocks get synthetic ``with_exit``
+  nodes on the same five continuations, giving domains a hook for
+  ``__exit__`` semantics.
+
+The exception edge out of a node carries the node's *pre*-state by
+default (the statement's effect may not have happened when it raised);
+domains can override via ``exception_state``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .scopes import FunctionNode
+
+# node kinds
+ENTRY = "entry"
+STMT = "stmt"
+HANDLER = "handler"
+JOIN = "join"
+WITH_EXIT = "with_exit"
+EXIT_NORMAL = "exit_normal"
+EXIT_RAISE = "exit_raise"
+
+# edge kinds
+EDGE_NORMAL = "normal"
+EDGE_EXCEPTION = "exception"
+
+#: attribute-call names modeled as non-raising cleanup (see module docstring)
+CLEANUP_ATTRS = frozenset({"close", "unlink"})
+
+
+class Node:
+    """One CFG node; ``stmt`` is the owning AST statement when any."""
+
+    __slots__ = ("index", "kind", "stmt")
+
+    def __init__(self, index: int, kind: str, stmt: Optional[ast.AST] = None) -> None:
+        self.index = index
+        self.kind = kind
+        self.stmt = stmt
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def __repr__(self) -> str:
+        where = f"@{self.lineno}" if self.stmt is not None else ""
+        return f"<{self.kind}#{self.index}{where}>"
+
+
+class ControlFlowGraph:
+    """The built graph: nodes plus kind-tagged directed edges."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: List[Node] = []
+        self._succ: List[List[Tuple[int, str]]] = []
+        self.entry = self._new_node(ENTRY)
+        self.exit_normal = self._new_node(EXIT_NORMAL)
+        self.exit_raise = self._new_node(EXIT_RAISE)
+
+    def _new_node(self, kind: str, stmt: Optional[ast.AST] = None) -> Node:
+        node = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        self._succ.append([])
+        return node
+
+    def _add_edge(self, src: Node, dst: Node, kind: str) -> None:
+        pair = (dst.index, kind)
+        if pair not in self._succ[src.index]:
+            self._succ[src.index].append(pair)
+
+    def successors(self, node: Node) -> List[Tuple[Node, str]]:
+        return [(self.nodes[i], kind) for i, kind in self._succ[node.index]]
+
+    def stmt_nodes(self, lineno: int) -> List[Node]:
+        """Every node anchored at source line ``lineno`` (test helper)."""
+        return [n for n in self.nodes if n.stmt is not None and n.lineno == lineno]
+
+
+# ---------------------------------------------------------------------------
+# builder frames
+
+
+class _LoopFrame:
+    __slots__ = ("head", "break_join")
+
+    def __init__(self, head: Node, break_join: Node) -> None:
+        self.head = head
+        self.break_join = break_join
+
+
+class _TryFrame:
+    __slots__ = ("handler_entries", "catches_all")
+
+    def __init__(self, handler_entries: List[Node], catches_all: bool) -> None:
+        self.handler_entries = handler_entries
+        self.catches_all = catches_all
+
+
+class _FinallyFrame:
+    __slots__ = ("finalbody", "exc_entry", "ret_entry", "break_entry", "continue_entry")
+
+    def __init__(self, finalbody: List[ast.stmt]) -> None:
+        self.finalbody = finalbody
+        self.exc_entry: Optional[Node] = None
+        self.ret_entry: Optional[Node] = None
+        self.break_entry: Optional[Node] = None
+        self.continue_entry: Optional[Node] = None
+
+
+class _WithFrame:
+    __slots__ = ("stmt", "exc_exit", "ret_exit", "break_exit", "continue_exit")
+
+    def __init__(self, stmt: Union[ast.With, ast.AsyncWith]) -> None:
+        self.stmt = stmt
+        self.exc_exit: Optional[Node] = None
+        self.ret_exit: Optional[Node] = None
+        self.break_exit: Optional[Node] = None
+        self.continue_exit: Optional[Node] = None
+
+
+_Frame = Union[_LoopFrame, _TryFrame, _FinallyFrame, _WithFrame]
+
+
+# ---------------------------------------------------------------------------
+# may-raise classification
+
+
+def _expr_may_raise(exprs: Sequence[Optional[ast.AST]]) -> bool:
+    for expr in exprs:
+        if expr is None:
+            continue
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Attribute) and func.attr in CLEANUP_ATTRS:
+                    continue
+                return True
+            if isinstance(sub, (ast.Yield, ast.YieldFrom, ast.Await)):
+                return True
+    return False
+
+
+def _stmt_may_raise(stmt: ast.stmt) -> bool:
+    """May-raise for *simple* statements (compound headers are handled
+    by passing just their header expressions to :func:`_expr_may_raise`)."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        return True
+    exprs: List[Optional[ast.AST]] = []
+    for child in ast.iter_child_nodes(stmt):
+        exprs.append(child)
+    return _expr_may_raise(exprs)
+
+
+def _handler_catches_all(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except`` or an explicit ``BaseException`` clause."""
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name == "BaseException":
+            return True
+    return False
+
+
+def _is_constant_true(expr: ast.AST) -> bool:
+    return isinstance(expr, ast.Constant) and bool(expr.value) is True
+
+
+# ---------------------------------------------------------------------------
+# builder
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = ControlFlowGraph(func)
+        self.stack: List[_Frame] = []
+
+    # -- routing ------------------------------------------------------------
+
+    def _exc_targets(self, depth: Optional[int] = None) -> List[Node]:
+        """Where an exception raised with ``stack[:depth]`` active lands."""
+        i = (len(self.stack) if depth is None else depth) - 1
+        while i >= 0:
+            frame = self.stack[i]
+            if isinstance(frame, _TryFrame):
+                targets = list(frame.handler_entries)
+                if not frame.catches_all:
+                    targets.extend(self._exc_targets(i))
+                return targets
+            if isinstance(frame, _FinallyFrame):
+                if frame.exc_entry is None:
+                    frame.exc_entry = self._finally_copy(frame, i, self._exc_targets(i))
+                return [frame.exc_entry]
+            if isinstance(frame, _WithFrame):
+                if frame.exc_exit is None:
+                    frame.exc_exit = self._with_exit(frame, self._exc_targets(i))
+                return [frame.exc_exit]
+            i -= 1
+        return [self.cfg.exit_raise]
+
+    def _return_targets(self, depth: Optional[int] = None) -> List[Node]:
+        i = (len(self.stack) if depth is None else depth) - 1
+        while i >= 0:
+            frame = self.stack[i]
+            if isinstance(frame, _FinallyFrame):
+                if frame.ret_entry is None:
+                    frame.ret_entry = self._finally_copy(
+                        frame, i, self._return_targets(i)
+                    )
+                return [frame.ret_entry]
+            if isinstance(frame, _WithFrame):
+                if frame.ret_exit is None:
+                    frame.ret_exit = self._with_exit(frame, self._return_targets(i))
+                return [frame.ret_exit]
+            i -= 1
+        return [self.cfg.exit_normal]
+
+    def _break_targets(self, depth: Optional[int] = None) -> List[Node]:
+        i = (len(self.stack) if depth is None else depth) - 1
+        while i >= 0:
+            frame = self.stack[i]
+            if isinstance(frame, _LoopFrame):
+                return [frame.break_join]
+            if isinstance(frame, _FinallyFrame):
+                if frame.break_entry is None:
+                    frame.break_entry = self._finally_copy(
+                        frame, i, self._break_targets(i)
+                    )
+                return [frame.break_entry]
+            if isinstance(frame, _WithFrame):
+                if frame.break_exit is None:
+                    frame.break_exit = self._with_exit(frame, self._break_targets(i))
+                return [frame.break_exit]
+            i -= 1
+        return [self.cfg.exit_normal]  # malformed break; degrade gracefully
+
+    def _continue_targets(self, depth: Optional[int] = None) -> List[Node]:
+        i = (len(self.stack) if depth is None else depth) - 1
+        while i >= 0:
+            frame = self.stack[i]
+            if isinstance(frame, _LoopFrame):
+                return [frame.head]
+            if isinstance(frame, _FinallyFrame):
+                if frame.continue_entry is None:
+                    frame.continue_entry = self._finally_copy(
+                        frame, i, self._continue_targets(i)
+                    )
+                return [frame.continue_entry]
+            if isinstance(frame, _WithFrame):
+                if frame.continue_exit is None:
+                    frame.continue_exit = self._with_exit(
+                        frame, self._continue_targets(i)
+                    )
+                return [frame.continue_exit]
+            i -= 1
+        return [self.cfg.exit_normal]
+
+    def _finally_copy(
+        self, frame: _FinallyFrame, frame_index: int, continuation: List[Node]
+    ) -> Node:
+        """A fresh copy of ``finally`` built under the *outer* frame stack."""
+        saved = self.stack
+        self.stack = saved[:frame_index]
+        entry = self.cfg._new_node(JOIN)
+        frontier = self._build_block(frame.finalbody, [entry])
+        for node in frontier:
+            for target in continuation:
+                self.cfg._add_edge(node, target, EDGE_NORMAL)
+        self.stack = saved
+        return entry
+
+    def _with_exit(self, frame: _WithFrame, continuation: List[Node]) -> Node:
+        node = self.cfg._new_node(WITH_EXIT, frame.stmt)
+        for target in continuation:
+            self.cfg._add_edge(node, target, EDGE_NORMAL)
+        return node
+
+    # -- construction --------------------------------------------------------
+
+    def _connect(self, preds: List[Node], node: Node) -> None:
+        for pred in preds:
+            self.cfg._add_edge(pred, node, EDGE_NORMAL)
+
+    def _exception_edges(self, node: Node) -> None:
+        for target in self._exc_targets():
+            self.cfg._add_edge(node, target, EDGE_EXCEPTION)
+
+    def _build_block(self, stmts: List[ast.stmt], preds: List[Node]) -> List[Node]:
+        frontier = preds
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    def _build_stmt(self, stmt: ast.stmt, preds: List[Node]) -> List[Node]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            node = cfg._new_node(STMT, stmt)
+            self._connect(preds, node)
+            if _expr_may_raise([stmt.value]):
+                self._exception_edges(node)
+            for target in self._return_targets():
+                cfg._add_edge(node, target, EDGE_NORMAL)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = cfg._new_node(STMT, stmt)
+            self._connect(preds, node)
+            self._exception_edges(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = cfg._new_node(STMT, stmt)
+            self._connect(preds, node)
+            for target in self._break_targets():
+                cfg._add_edge(node, target, EDGE_NORMAL)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = cfg._new_node(STMT, stmt)
+            self._connect(preds, node)
+            for target in self._continue_targets():
+                cfg._add_edge(node, target, EDGE_NORMAL)
+            return []
+        if isinstance(stmt, ast.If):
+            node = cfg._new_node(STMT, stmt)
+            self._connect(preds, node)
+            if _expr_may_raise([stmt.test]):
+                self._exception_edges(node)
+            body_frontier = self._build_block(stmt.body, [node])
+            else_frontier = self._build_block(stmt.orelse, [node])
+            return body_frontier + else_frontier
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            node = cfg._new_node(STMT, stmt)
+            self._connect(preds, node)
+            if _expr_may_raise([stmt.subject]):
+                self._exception_edges(node)
+            frontier: List[Node] = [node]  # no case may match
+            for case in stmt.cases:
+                frontier.extend(self._build_block(case.body, [node]))
+            return frontier
+        # simple statement (incl. nested def/class bindings)
+        node = cfg._new_node(STMT, stmt)
+        self._connect(preds, node)
+        if _stmt_may_raise(stmt):
+            self._exception_edges(node)
+        return [node]
+
+    def _build_loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], preds: List[Node]
+    ) -> List[Node]:
+        cfg = self.cfg
+        head = cfg._new_node(STMT, stmt)
+        self._connect(preds, head)
+        header_exprs: List[Optional[ast.AST]] = (
+            [stmt.test] if isinstance(stmt, ast.While) else [stmt.iter]
+        )
+        if _expr_may_raise(header_exprs):
+            self._exception_edges(head)
+        break_join = cfg._new_node(JOIN)
+        self.stack.append(_LoopFrame(head, break_join))
+        body_frontier = self._build_block(stmt.body, [head])
+        for node in body_frontier:
+            cfg._add_edge(node, head, EDGE_NORMAL)  # back edge
+        self.stack.pop()
+        frontier: List[Node] = [break_join]
+        infinite = isinstance(stmt, ast.While) and _is_constant_true(stmt.test)
+        if not infinite:
+            # loop exhausts: fall through the (possibly empty) else clause
+            frontier.extend(self._build_block(stmt.orelse, [head]))
+        return frontier
+
+    def _build_try(self, stmt: ast.Try, preds: List[Node]) -> List[Node]:
+        cfg = self.cfg
+        finally_frame: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            finally_frame = _FinallyFrame(stmt.finalbody)
+            self.stack.append(finally_frame)
+        handler_entries = [cfg._new_node(HANDLER, h) for h in stmt.handlers]
+        catches_all = any(_handler_catches_all(h) for h in stmt.handlers)
+        if stmt.handlers:
+            self.stack.append(_TryFrame(handler_entries, catches_all))
+        body_frontier = self._build_block(stmt.body, preds)
+        if stmt.handlers:
+            self.stack.pop()
+        else_frontier = self._build_block(stmt.orelse, body_frontier)
+        handler_frontier: List[Node] = []
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            handler_frontier.extend(self._build_block(handler.body, [entry]))
+        frontier = else_frontier + handler_frontier
+        if finally_frame is not None:
+            self.stack.pop()
+            frontier = self._build_block(stmt.finalbody, frontier)
+        return frontier
+
+    def _build_with(
+        self, stmt: Union[ast.With, ast.AsyncWith], preds: List[Node]
+    ) -> List[Node]:
+        cfg = self.cfg
+        head = cfg._new_node(STMT, stmt)
+        self._connect(preds, head)
+        if _expr_may_raise([item.context_expr for item in stmt.items]):
+            self._exception_edges(head)
+        self.stack.append(_WithFrame(stmt))
+        body_frontier = self._build_block(stmt.body, [head])
+        self.stack.pop()
+        exit_node = cfg._new_node(WITH_EXIT, stmt)
+        for node in body_frontier:
+            cfg._add_edge(node, exit_node, EDGE_NORMAL)
+        return [exit_node]
+
+    def build(self) -> ControlFlowGraph:
+        frontier = self._build_block(self.cfg.func.body, [self.cfg.entry])
+        for node in frontier:
+            self.cfg._add_edge(node, self.cfg.exit_normal, EDGE_NORMAL)
+        return self.cfg
+
+
+def build_cfg(func: FunctionNode) -> ControlFlowGraph:
+    """Build the control-flow graph of one function body."""
+    return _Builder(func).build()

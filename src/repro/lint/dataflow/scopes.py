@@ -1,0 +1,112 @@
+"""Scope-walking primitives: the substrate every lint layer shares.
+
+These helpers used to live in ``repro.lint.astutils``; they moved here
+when the dataflow engine landed so that the legacy intraprocedural rules
+(R001/R003/R004) and the interprocedural analyses (R007–R009) walk
+scopes with the *same* machinery.  ``astutils`` re-exports them for
+backward compatibility.
+
+The module is a dependency leaf: nothing here imports the rest of the
+dataflow package, which keeps the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Dotted form of a Name/Attribute chain, ``None`` for anything else.
+
+    ``time.perf_counter`` -> ``"time.perf_counter"``;
+    ``a.b().c`` -> ``None`` (a call breaks the chain).
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def statements_excluding_nested(
+    body: List[ast.stmt],
+) -> Iterator[ast.AST]:
+    """Walk ``body`` without descending into nested function/class defs.
+
+    Used to collect a scope's *own* assignments; nested scopes are walked
+    separately with the inherited environment.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def walk_scopes(
+    tree: ast.Module,
+    infer: Callable[[List[ast.stmt], Optional[FunctionNode], Dict[str, str]], Dict[str, str]],
+) -> Iterator[Tuple[List[ast.stmt], Dict[str, str]]]:
+    """Yield ``(scope body, environment)`` pairs, outermost first.
+
+    ``infer`` receives the scope's statements, the function node that owns
+    them (``None`` for the module body) and the inherited environment, and
+    returns the environment visible inside that scope.  Nested functions
+    inherit their enclosing function's environment — closures read outer
+    locals — while class bodies reset to the module environment.
+    """
+
+    def visit(
+        body: List[ast.stmt],
+        func: Optional[FunctionNode],
+        inherited: Dict[str, str],
+    ) -> Iterator[Tuple[List[ast.stmt], Dict[str, str]]]:
+        env = infer(body, func, inherited)
+        yield body, env
+        for node in statements_excluding_nested(body):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from visit(child.body, child, env)
+                elif isinstance(child, ast.ClassDef):
+                    for stmt in child.body:
+                        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            yield from visit(stmt.body, stmt, dict(inherited))
+
+    yield from visit(list(tree.body), None, {})
+
+
+def closure_captured_names(func: FunctionNode) -> Set[str]:
+    """Names of ``func`` that are read by a function nested inside it.
+
+    A local captured by a closure escapes the defining scope's control —
+    the nested function may use it after any point in the enclosing body
+    (the ``release()`` pattern in ``parallel.py`` unlinks captured
+    segments long after the creating function returned).  The resource
+    analysis treats captured locals as escaped at their binding.
+    """
+    captured: Set[str] = set()
+    outer: List[ast.AST] = list(func.body)
+    nested: List[ast.AST] = []
+    while outer:
+        node = outer.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            nested.append(node)
+            continue
+        outer.extend(ast.iter_child_nodes(node))
+    for fn in nested:
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Name):
+                captured.add(sub.id)
+    return captured

@@ -37,6 +37,9 @@ class Rule:
     excludes: Tuple[str, ...] = ()
     #: optional once-per-run check over cross-file project facts
     project_check: Optional[ProjectCheckFn] = field(default=None)
+    #: the rule consumes the interprocedural dataflow project (CFGs,
+    #: summaries); the analyzer builds one iff any selected rule sets this
+    dataflow: bool = False
 
     def applies_to(self, relpath: str) -> bool:
         """True iff the rule covers the (posix, repo-relative) path."""
@@ -51,6 +54,7 @@ class Rule:
             "summary": self.summary,
             "paths": list(self.paths),
             "excludes": list(self.excludes),
+            "dataflow": self.dataflow,
         }
 
 

@@ -1,16 +1,23 @@
-"""Report rendering for ``cfl-match lint``: human text and JSON.
+"""Report rendering for ``cfl-match lint``: text, JSON and SARIF.
 
 The JSON shape is versioned and stable so CI can archive
-``lint-report.json`` as an artifact and diff runs across commits.
+``lint-report.json`` as an artifact and diff runs across commits
+(version 2 adds ``engine_version``, per-rule timings and summary-cache
+counters on top of every version-1 key).  The SARIF output targets the
+2.1.0 schema so code-scanning UIs can annotate diffs with findings.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, List
+from typing import IO, Any, Dict, List
 
 from .analyzer import LintReport
 from .registry import Rule
+
+#: SARIF schema targeted by :func:`write_sarif`
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def write_text(report: LintReport, stream: IO[str]) -> None:
@@ -22,6 +29,61 @@ def write_text(report: LintReport, stream: IO[str]) -> None:
 def write_json(report: LintReport, stream: IO[str]) -> None:
     """Versioned JSON report (the ``--json`` output)."""
     json.dump(report.to_dict(), stream, indent=2, sort_keys=False)
+    stream.write("\n")
+
+
+def sarif_dict(report: LintReport) -> Dict[str, Any]:
+    """The report as a minimal SARIF 2.1.0 log (one run, one tool)."""
+    rules_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+        }
+        for rule in report.rules
+    ]
+    results = [
+        {
+            "ruleId": diag.rule,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.path},
+                        "region": {
+                            "startLine": diag.line,
+                            # SARIF columns are 1-based; diagnostics are 0-based
+                            "startColumn": diag.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for diag in report.diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": report.engine_version,
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(report: LintReport, stream: IO[str]) -> None:
+    """SARIF 2.1.0 report (the ``--sarif`` output)."""
+    json.dump(sarif_dict(report), stream, indent=2, sort_keys=False)
     stream.write("\n")
 
 

@@ -6,10 +6,13 @@ modules can reference analyzer types without an import cycle.
 
 from . import (  # noqa: F401  (registration side effects)
     counters,
+    dtype_escape,
     exceptions,
     frozen_plan,
     iteration,
+    segment_lifecycle,
     spawn,
+    version_discipline,
     wallclock,
 )
 
@@ -20,4 +23,7 @@ __all__ = [
     "iteration",
     "wallclock",
     "exceptions",
+    "segment_lifecycle",
+    "dtype_escape",
+    "version_discipline",
 ]

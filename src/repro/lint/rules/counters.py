@@ -191,6 +191,59 @@ def project_check(facts: ProjectFacts) -> List[Diagnostic]:
                 ),
             )
         )
+    if facts.phase_names is not None and facts.schema_phases is not None:
+        for phase in sorted(facts.phase_names - facts.schema_phases):
+            diagnostics.append(
+                Diagnostic(
+                    rule=RULE.id,
+                    path=facts.schema_path,
+                    line=1,
+                    column=0,
+                    message=(
+                        f"PHASE_NAMES entry {phase!r} is missing from the "
+                        "profile schema's phase_times_s.required list"
+                    ),
+                )
+            )
+        for phase in sorted(facts.schema_phases - facts.phase_names):
+            diagnostics.append(
+                Diagnostic(
+                    rule=RULE.id,
+                    path=facts.stats_path,
+                    line=1,
+                    column=0,
+                    message=(
+                        f"schema phase {phase!r} is not a PHASE_NAMES entry"
+                    ),
+                )
+            )
+    if facts.lint_cli_flags is not None and facts.documented_lint_flags is not None:
+        for flag in sorted(facts.lint_cli_flags - facts.documented_lint_flags):
+            diagnostics.append(
+                Diagnostic(
+                    rule=RULE.id,
+                    path="docs/static-analysis.md",
+                    line=1,
+                    column=0,
+                    message=(
+                        f"lint CLI flag {flag!r} is not documented in "
+                        "docs/static-analysis.md"
+                    ),
+                )
+            )
+        for flag in sorted(facts.documented_lint_flags - facts.lint_cli_flags):
+            diagnostics.append(
+                Diagnostic(
+                    rule=RULE.id,
+                    path="docs/static-analysis.md",
+                    line=1,
+                    column=0,
+                    message=(
+                        f"documented lint flag {flag!r} does not exist on "
+                        "the `cfl-match lint` CLI"
+                    ),
+                )
+            )
     return diagnostics
 
 

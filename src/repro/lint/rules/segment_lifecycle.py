@@ -1,0 +1,93 @@
+"""R007 segment-lifecycle: creators unlink on every exit path.
+
+The shared-memory layer (PR 6) has one load-bearing ownership rule:
+whoever *creates* a ``/dev/shm`` segment must ``unlink()`` it on every
+exit path — normal, exceptional, interrupted — or the name outlives the
+process; whoever merely *attaches* must only ever ``close()`` and never
+``unlink()`` (the creator owns the name).  ``close()`` alone is not
+enough for a creator: the mapping is freed with the process but the
+name persists.
+
+The intraprocedural PR-4 engine could not express this: the obligation
+spans branches, ``try``/``finally`` shapes and helper calls
+(``PlanSegment.create`` allocates inside ``_create_segment``;
+``release()`` closures unlink long after the creating frame returned).
+This rule runs the dataflow engine instead: per-function CFGs with
+exception edges — including the residual ``KeyboardInterrupt`` path
+past an ``except Exception`` handler — an abstract resource lattice
+(``created``/``closed``/``unlinked``/``escaped``) and composed callee
+summaries ("may unlink parameter 0", "returns an owned resource").
+
+Obligations are discharged by escape: a resource that is returned,
+stored into an object or container, captured by a closure, or passed to
+an unresolved callee has left the function's control and is the new
+owner's problem.  Attached resources are additionally checked on normal
+exits only — an attacher's unclosed mapping dies with the process,
+which the shm module documents as acceptable; a creator's leaked *name*
+does not.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..dataflow.cfg import build_cfg
+from ..dataflow.interp import (
+    ResourceDomain,
+    analyze,
+    find_resource_sites,
+    resource_findings,
+)
+from ..diagnostics import Diagnostic
+from ..facts import ProjectFacts
+from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..analyzer import ModuleContext
+
+
+def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
+    project = module.dataflow
+    if project is None:
+        return []
+    info = project.modules.get(module.relpath)
+    if info is None:
+        return []
+    diagnostics: List[Diagnostic] = []
+    for func in info.functions.values():
+        sites = find_resource_sites(project, info, func)
+        if not sites:
+            continue
+        cfg = build_cfg(func.node)
+        for site in sites:
+            domain = ResourceDomain(project, info, func, site)
+            analysis = analyze(cfg, domain)
+            for anchor, message in resource_findings(analysis, domain):
+                diagnostics.append(module.diagnostic(RULE.id, anchor, message))
+    return diagnostics
+
+
+RULE = register(
+    Rule(
+        id="R007",
+        name="segment-lifecycle",
+        summary=(
+            "created SharedMemory/PlanSegment resources must reach unlink() "
+            "or escape on every exit path; attached ones close() and never "
+            "unlink()"
+        ),
+        rationale=(
+            "a creator that misses unlink() on any path — including the "
+            "KeyboardInterrupt path past an `except Exception` — leaks a "
+            "persistent /dev/shm name; an attacher that unlinks destroys a "
+            "segment it does not own (PR 6 ownership discipline)"
+        ),
+        paths=(
+            "src/repro/core/shm.py",
+            "src/repro/graph/ingest.py",
+            "src/repro/core/parallel.py",
+        ),
+        check=check,
+        dataflow=True,
+    )
+)

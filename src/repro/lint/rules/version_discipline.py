@@ -1,0 +1,119 @@
+"""R009 mutation-version discipline: every public mutation commits.
+
+The incremental-repair path (PR 8) relies on ``DynamicGraph`` mutators
+leaving a precise paper trail: every write to the index structures
+(labels, adjacency, NLF, MND, label index) must be followed — before
+the public method returns — by ``_commit()``, which invalidates the CSR
+cache, bumps ``_version`` and appends a ``TouchSet`` to the log.  A
+mutation that escapes without a commit leaves consumers repairing
+against a stale version: the CPI repair would silently skip vertices.
+
+Private helpers may write without committing (``_remove_edge_inner``
+does, by design); the dataflow engine carries that as a ``mutates``
+summary, and the dirty bit propagates to every public caller.  A public
+function whose normal exit can be reached with the dirty bit set is a
+violation — whether it wrote directly or through any chain of helpers.
+
+The commit primitive itself is checked structurally: ``_commit`` must
+bump ``self._version`` *before* appending to ``self._log`` (a TouchSet
+carrying the pre-bump version would point consumers at the wrong
+generation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional
+
+from ..dataflow.cfg import build_cfg
+from ..dataflow.interp import VersionDomain, _walk_excluding_nested_body, analyze
+from ..dataflow.scopes import dotted_name
+from ..diagnostics import Diagnostic
+from ..facts import ProjectFacts
+from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..analyzer import ModuleContext
+
+
+def _commit_shape_problem(func_node: ast.AST) -> Optional[str]:
+    """Structural check of a ``_commit``-named method's body."""
+    bump_lines: List[int] = []
+    log_lines: List[int] = []
+    for stmt in _walk_excluding_nested_body(func_node):  # type: ignore[arg-type]
+        if isinstance(stmt, (ast.AugAssign, ast.Assign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "_version"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    bump_lines.append(stmt.lineno)
+        elif isinstance(stmt, ast.Call) and dotted_name(stmt.func) == "self._log.append":
+            log_lines.append(stmt.lineno)
+    if not bump_lines:
+        return "commit primitive never bumps self._version"
+    if not log_lines:
+        return "commit primitive never appends a TouchSet to self._log"
+    if min(log_lines) < min(bump_lines):
+        return (
+            "commit primitive logs the TouchSet before bumping self._version; "
+            "the logged version would be stale"
+        )
+    return None
+
+
+def check(module: "ModuleContext", facts: Optional[ProjectFacts]) -> List[Diagnostic]:
+    project = module.dataflow
+    if project is None:
+        return []
+    info = project.modules.get(module.relpath)
+    if info is None:
+        return []
+    diagnostics: List[Diagnostic] = []
+    for func in info.functions.values():
+        short_name = func.qualname.rsplit(".", 1)[-1]
+        if short_name == "_commit":
+            problem = _commit_shape_problem(func.node)
+            if problem is not None:
+                diagnostics.append(module.diagnostic(RULE.id, func.node, problem))
+            continue
+        if short_name.startswith("_"):
+            continue  # private helpers may stay dirty; callers carry the bit
+        cfg = build_cfg(func.node)
+        analysis = analyze(cfg, VersionDomain(project, info, func))
+        exit_state = analysis.exit_normal_state
+        if exit_state is not None and exit_state[0]:
+            diagnostics.append(
+                module.diagnostic(
+                    RULE.id,
+                    func.node,
+                    f"public function {short_name!r} can return with "
+                    "DynamicGraph structures modified but no _commit() "
+                    "(version bump + TouchSet log) on that path",
+                )
+            )
+    return diagnostics
+
+
+RULE = register(
+    Rule(
+        id="R009",
+        name="mutation-version-discipline",
+        summary=(
+            "writes to DynamicGraph index/adjacency/NLF/MND structures must "
+            "be committed (version bump + TouchSet log) before any public "
+            "method returns"
+        ),
+        rationale=(
+            "the incremental CPI repair diffs TouchSets against _version; a "
+            "mutation that escapes a public method uncommitted makes every "
+            "consumer repair against a stale generation (PR 8 invariant)"
+        ),
+        paths=("src/repro/graph/dynamic.py",),
+        check=check,
+        dataflow=True,
+    )
+)

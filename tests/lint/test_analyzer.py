@@ -83,14 +83,19 @@ class TestLintPaths:
     def test_json_shape(self, tmp_path):
         make_tree(tmp_path, VIOLATION)
         payload = lint_paths([tmp_path / "src"], root=tmp_path).to_dict()
-        assert payload["version"] == 1
+        assert payload["version"] == 2
+        assert payload["engine_version"]
         assert payload["ok"] is False
         assert payload["files_checked"] == 1
         assert {r["id"] for r in payload["rules"]} == {
             "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009",
         }
         diag = payload["diagnostics"][0]
         assert set(diag) == {"rule", "path", "line", "column", "message"}
+        assert set(payload["rule_times_s"]) == {r["id"] for r in payload["rules"]}
+        assert all(t >= 0 for t in payload["rule_times_s"].values())
+        assert set(payload["summary_cache"]) == {"hits", "misses"}
 
 
 class TestFindRoot:
