@@ -42,15 +42,22 @@ def _cmd_match(args: argparse.Namespace) -> int:
         from .core.parallel import parallel_search_iter
 
         embeddings = parallel_search_iter(
-            data, query, workers=workers, limit=args.limit, engine=args.engine
+            data, query, workers=workers, limit=args.limit, engine=args.engine,
+            adaptive=args.adaptive,
         )
     else:
         if args.algorithm == "CFL-Match":
-            matcher = CFLMatch(data, engine=args.engine)
+            matcher = CFLMatch(data, engine=args.engine, adaptive=args.adaptive)
         else:
             if args.engine != "kernel":
                 print(
                     f"error: --engine applies to CFL-Match, not {args.algorithm}",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.adaptive:
+                print(
+                    f"error: --adaptive applies to CFL-Match, not {args.algorithm}",
                     file=sys.stderr,
                 )
                 return 2
@@ -75,10 +82,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
         total = parallel_count(
             data, query, workers=args.workers, limit=args.limit,
-            engine=args.engine,
+            engine=args.engine, adaptive=args.adaptive,
         )
     else:
-        total = CFLMatch(data, engine=args.engine).count(query, limit=args.limit)
+        total = CFLMatch(data, engine=args.engine, adaptive=args.adaptive).count(
+            query, limit=args.limit
+        )
     elapsed = time.perf_counter() - started
     suffix = "+" if args.limit is not None and total >= args.limit else ""
     print(f"{total}{suffix} embedding(s) in {1000 * elapsed:.1f} ms")
@@ -211,11 +220,47 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from .core.explain import explain
+    import json
+
+    from .core.explain import (
+        estimate_embeddings,
+        explain,
+        render_breadth,
+        stage_breadth,
+    )
 
     data = load_graph(args.data)
     query = load_graph(args.query)
-    print(explain(CFLMatch(data), query))
+    matcher = CFLMatch(data, adaptive=args.adaptive)
+    prepared = matcher.prepare(query)
+    report = None
+    if args.execute:
+        deadline = (
+            time.perf_counter() + args.time_limit
+            if args.time_limit is not None
+            else None
+        )
+        report = matcher.run(
+            query, prepared=prepared, count_only=True,
+            deadline=deadline, max_expansions=args.max_expansions,
+        )
+    if args.json:
+        payload = {
+            "estimated_embeddings": estimate_embeddings(prepared.cpi),
+            "matching_order": prepared.matching_order,
+            "root": prepared.root,
+            "stages": stage_breadth(prepared, report),
+        }
+        if report is not None:
+            payload["status"] = report.status
+            payload["embeddings"] = report.embeddings
+            payload["adaptive_replans"] = report.stats.adaptive_replans
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(explain(matcher, query))
+    if report is not None:
+        print()
+        print(render_breadth(prepared, report))
     return 0
 
 
@@ -235,6 +280,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         time_limit_s=args.time_limit,
         count_only=not args.enumerate,
         engine=args.engine,
+        adaptive=args.adaptive,
     )
     if args.out:
         Path(args.out).write_text(json.dumps(profile, indent=2) + "\n")
@@ -254,6 +300,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             f"  {row['stage']:<8} vertices={row['vertices']:<3} "
             f"estimated={row['estimated_breadth']:<10} "
             f"actual={row['actual_expansions']}"
+            + (" (partial)" if row.get("truncated") else "")
         )
     print("counters:")
     for name, value in profile["counters"].items():
@@ -469,6 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="CFL-Match enumeration engine: compiled flat-array kernel "
              "(default) or the reference backtracker",
     )
+    p_match.add_argument(
+        "--adaptive", action="store_true",
+        help="re-plan the matching-order suffix mid-search when actual "
+             "breadth blows past the cost-model estimate (CFL-Match only)",
+    )
     p_match.set_defaults(func=_cmd_match)
 
     p_count = sub.add_parser("count", help="count embeddings (leaf permutations not expanded)")
@@ -483,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="kernel", choices=ENGINES,
         help="enumeration engine: compiled flat-array kernel (default) "
              "or the reference backtracker",
+    )
+    p_count.add_argument(
+        "--adaptive", action="store_true",
+        help="re-plan the matching-order suffix mid-search when actual "
+             "breadth blows past the cost-model estimate",
     )
     p_count.set_defaults(func=_cmd_count)
 
@@ -573,6 +630,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain = sub.add_parser("explain", help="show the matching plan for a query")
     p_explain.add_argument("--data", required=True)
     p_explain.add_argument("--query", required=True)
+    p_explain.add_argument(
+        "--execute", action="store_true",
+        help="run the query and print the estimated-vs-actual "
+        "stage-breadth table",
+    )
+    p_explain.add_argument(
+        "--json", action="store_true",
+        help="emit the plan summary and breadth rows as JSON",
+    )
+    p_explain.add_argument(
+        "--adaptive", action="store_true",
+        help="enable mid-search re-planning during --execute",
+    )
+    p_explain.add_argument(
+        "--max-expansions", type=int, default=None,
+        help="work budget for --execute (partial rows are flagged)",
+    )
+    p_explain.add_argument(
+        "--time-limit", type=float, default=None,
+        help="wall-clock budget in seconds for --execute",
+    )
     p_explain.set_defaults(func=_cmd_explain)
 
     p_profile = sub.add_parser(
@@ -612,6 +690,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enumeration engine: compiled flat-array kernel (default) "
              "or the reference backtracker (recorded in the profile's "
              "run section)",
+    )
+    p_profile.add_argument(
+        "--adaptive", action="store_true",
+        help="re-plan the matching-order suffix mid-search when actual "
+             "breadth blows past the cost-model estimate "
+             "(adaptive_replans counts re-plans)",
     )
     p_profile.set_defaults(func=_cmd_profile)
 

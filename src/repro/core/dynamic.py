@@ -137,6 +137,7 @@ def _repair_sweep(
     dirty: Optional[FrozenSet[int]],
     prev: Optional[RepairState],
     stats: SearchStats,
+    verify=cand_verify,
     deadline: Optional[float] = None,
 ) -> Tuple[CPI, RepairState]:
     """One memoized top-down + bottom-up sweep (Algorithms 3 and 4).
@@ -154,13 +155,20 @@ def _repair_sweep(
     otherwise the previous value is reused, which is sound because the
     unit's computation is a pure function of those inputs.  Per-filter
     prune counters therefore count only recomputed work on repairs.
+
+    ``verify`` must match the owning matcher's filter stack (see
+    :meth:`~repro.core.matcher.CFLMatch.cand_verify_for`) and — for an
+    :class:`~repro.core.filters.ExtendedCandVerify` — be constructed
+    fresh against the *current* graph state at every sweep: its
+    precomputed label-pair/NLI tables are snapshots, and a stale
+    snapshot could reject candidates the NLF filter accepts.
     """
     if prev is not None:
         tree = prev.tree
     else:
         tree = QueryBFSTree.build(query, root)
     n_q = query.num_vertices
-    counted = make_counting_verify(cand_verify, stats)
+    counted = make_counting_verify(verify, stats)
 
     def label_dirty(u: int) -> bool:
         return dirty is None or query.label(u) in dirty
@@ -453,6 +461,7 @@ class IncrementalMatcher:
         engine: str = "kernel",
         rebuild_threshold: float = 0.75,
         mode: str = "cfl",
+        **matcher_kwargs,
     ) -> None:
         if not isinstance(data, DynamicGraph):
             raise TypeError("IncrementalMatcher requires a DynamicGraph")
@@ -463,7 +472,12 @@ class IncrementalMatcher:
         self.rebuild_threshold = rebuild_threshold
         # plan_cache_size=0: this class owns plan reuse; the inner
         # matcher must never serve a stale cached plan of its own.
-        self._matcher = CFLMatch(data, mode=mode, engine=engine, plan_cache_size=0)
+        # ``matcher_kwargs`` forwards optimizer knobs (filter toggles,
+        # cemr, adaptive) so dynamic matching honors them too.
+        self._matcher = CFLMatch(
+            data, mode=mode, engine=engine, plan_cache_size=0,
+            **matcher_kwargs,
+        )
         self._plans: Dict[int, _Registration] = {}
 
     # -- plan lifecycle ------------------------------------------------
@@ -501,7 +515,8 @@ class IncrementalMatcher:
         phase_times["decomposition"] = monotonic_now() - started
         cpi_started = monotonic_now()
         cpi, state = _repair_sweep(
-            query, self.data, root, None, None, build_stats
+            query, self.data, root, None, None, build_stats,
+            verify=self._matcher.cand_verify_for(query),
         )
         phase_times["cpi_build"] = monotonic_now() - cpi_started
         prepared = self._matcher._assemble_plan(
@@ -566,7 +581,8 @@ class IncrementalMatcher:
             return
         stats = reg.build_stats
         cpi, state = _repair_sweep(
-            query, data, root, frozenset(dirty), reg.state, stats
+            query, data, root, frozenset(dirty), reg.state, stats,
+            verify=self._matcher.cand_verify_for(query),
         )
         stats.cpi_repairs += 1
         stats.dirty_region_size += len(region)
@@ -599,7 +615,10 @@ class IncrementalMatcher:
         root = select_root(query, self.data, eligible=decomposition.core)
         phase_times["decomposition"] = monotonic_now() - build_started
         cpi_started = monotonic_now()
-        cpi, state = _repair_sweep(query, self.data, root, None, None, stats)
+        cpi, state = _repair_sweep(
+            query, self.data, root, None, None, stats,
+            verify=self._matcher.cand_verify_for(query),
+        )
         phase_times["cpi_build"] = monotonic_now() - cpi_started
         prepared = self._matcher._assemble_plan(
             query, decomposition, root, cpi, build_started,

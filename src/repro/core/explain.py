@@ -103,6 +103,16 @@ def stage_breadth(
     plan predicts will survive it.  The actual column is the stage's
     measured partial-match expansions from a :class:`MatchReport`
     (omitted when no report is given, e.g. plain EXPLAIN).
+
+    A truncated run (``report.status`` of ``"timed_out"`` or
+    ``"budget_exhausted"``) stopped mid-enumeration: its actual columns
+    are partial counts, not the work a complete run would have done, so
+    every row additionally carries ``"truncated": True`` — comparing a
+    partial actual against a full-run estimate without that flag made
+    mis-estimated plans look *better* the earlier they were cut off.
+    The aggregate stage counters are also backfilled from the per-stage
+    ``stage_nodes`` split when the report was built before aggregation
+    (the ``*_expansions`` counters are only folded in at run end).
     """
     cpi = prepared.cpi
     cumulative: set = set()
@@ -111,11 +121,19 @@ def stage_breadth(
         ("forest", prepared.forest_order),
         ("leaf", list(prepared.leaf_plan.leaf_vertices)),
     ]
-    actual = {
+    actual: Dict[str, Optional[int]] = {
         "core": report.stats.core_expansions if report else None,
         "forest": report.stats.forest_expansions if report else None,
         "leaf": report.stats.leaf_expansions if report else None,
     }
+    if report is not None and report.stage_nodes:
+        # A report assembled before aggregate_stage_stats ran has zeroed
+        # *_expansions but a live stage_nodes split; prefer the split so
+        # partial runs still show their per-stage work.
+        for stage in ("core", "forest", "leaf"):
+            if not actual[stage] and stage in report.stage_nodes:
+                actual[stage] = report.stage_nodes[stage]
+    truncated = report is not None and report.status != "ok"
     rows: List[Dict] = []
     for stage, vertices in stage_vertices:
         cumulative.update(vertices)
@@ -130,7 +148,9 @@ def stage_breadth(
             "estimated_breadth": estimated,
         }
         if report is not None:
-            row["actual_expansions"] = actual[stage]
+            row["actual_expansions"] = actual[stage] or 0
+            if truncated:
+                row["truncated"] = True
         rows.append(row)
     return rows
 
@@ -138,10 +158,16 @@ def stage_breadth(
 def render_breadth(prepared: PreparedQuery, report: MatchReport) -> str:
     """Human-readable estimated-vs-actual breadth table per stage."""
     lines = ["stage    vertices  estimated  actual"]
-    for row in stage_breadth(prepared, report):
+    rows = stage_breadth(prepared, report)
+    for row in rows:
+        flag = " *" if row.get("truncated") else ""
         lines.append(
             f"{row['stage']:<8} {row['vertices']:>8}  "
-            f"{row['estimated_breadth']:>9}  {row['actual_expansions']:>6}"
+            f"{row['estimated_breadth']:>9}  {row['actual_expansions']:>6}{flag}"
+        )
+    if report.status != "ok":
+        lines.append(
+            f"* run {report.status}: actual columns are partial counts"
         )
     lines.append(
         f"embeddings: {report.embeddings} (estimate is an upper bound on "

@@ -27,7 +27,7 @@ from .matcher import CFLMatch, MatchReport, PreparedQuery
 from .parallel import parallel_run
 from .stats import SearchStats, cpi_level_totals, empty_phase_times, monotonic_now
 
-PROFILE_SCHEMA_VERSION = 5
+PROFILE_SCHEMA_VERSION = 6
 
 #: JSON Schema (draft-07 subset) for ``profile_query`` output.  Kept in
 #: lock-step with ``docs/profile.schema.json`` (a test asserts equality).
@@ -147,6 +147,10 @@ PROFILE_SCHEMA: Dict[str, Any] = {
                 "cpi_repairs",
                 "cpi_rebuilds",
                 "dirty_region_size",
+                "filter_label_pair_pruned",
+                "filter_nli_pruned",
+                "cemr_memo_hits",
+                "adaptive_replans",
             ],
             "additionalProperties": {"type": "integer", "minimum": 0},
         },
@@ -188,6 +192,7 @@ PROFILE_SCHEMA: Dict[str, Any] = {
                     "vertices": {"type": "integer", "minimum": 0},
                     "estimated_breadth": {"type": "integer", "minimum": 0},
                     "actual_expansions": {"type": "integer", "minimum": 0},
+                    "truncated": {"type": "boolean"},
                 },
             },
         },

@@ -198,6 +198,7 @@ class TestMetamorphicCheck:
 
     def test_registry_has_all_relations(self):
         assert sorted(METAMORPHIC_RELATIONS) == [
+            "adaptive-replanning",
             "delta-commutativity",
             "disjoint-union",
             "edge-monotonicity",
@@ -205,6 +206,7 @@ class TestMetamorphicCheck:
             "insert-remove-inverse",
             "label-renaming",
             "stats-filter-ablation",
+            "stats-optimizer-identity",
             "stats-vertex-permutation",
             "vertex-permutation",
         ]
